@@ -1,0 +1,194 @@
+#ifndef BENCHTEMP_BENCH_BENCH_COMMON_H_
+#define BENCHTEMP_BENCH_BENCH_COMMON_H_
+
+// Shared harness of the table/figure reproduction binaries.
+//
+// Environment knobs (all optional):
+//   BENCHTEMP_RUNS        repeated runs per job (paper: 3; default 1)
+//   BENCHTEMP_FEATURE_DIM standardized node feature dim (paper: 172;
+//                         default 48 to keep the CPU grid tractable)
+//   BENCHTEMP_EPOCHS      max epochs for the fast models (default 8)
+//   BENCHTEMP_WALK_EPOCHS max epochs for CAWN/NeurTW (default 4 — these are
+//                         the models the paper reports as slow /
+//                         non-converging, so their budget is tighter)
+//   BENCHTEMP_QUICK=1     shrink everything further (smoke-test mode)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/leaderboard.h"
+#include "core/trainer.h"
+#include "datagen/catalog.h"
+#include "graph/walks.h"
+#include "models/factory.h"
+
+namespace benchtemp::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// Grid-wide settings derived from the environment.
+struct GridConfig {
+  int runs = 1;
+  int64_t feature_dim = 48;
+  int max_epochs_fast = 8;
+  int max_epochs_walk = 4;
+  int batch_size = 200;
+  float learning_rate = 1e-3f;
+  bool quick = false;
+};
+
+inline GridConfig DefaultGrid() {
+  GridConfig grid;
+  grid.quick = EnvInt("BENCHTEMP_QUICK", 0) != 0;
+  grid.runs = EnvInt("BENCHTEMP_RUNS", grid.quick ? 1 : 2);
+  grid.feature_dim = EnvInt("BENCHTEMP_FEATURE_DIM", grid.quick ? 16 : 48);
+  grid.max_epochs_fast = EnvInt("BENCHTEMP_EPOCHS", grid.quick ? 2 : 8);
+  grid.max_epochs_walk = EnvInt("BENCHTEMP_WALK_EPOCHS", grid.quick ? 1 : 4);
+  return grid;
+}
+
+inline bool IsWalkModel(models::ModelKind kind) {
+  return kind == models::ModelKind::kCawn ||
+         kind == models::ModelKind::kNeurTw;
+}
+
+/// Model hyperparameters for one (model, dataset) job; carries the
+/// catalog's per-dataset quirks (TGAT window, overflow-safe walk bias).
+inline models::ModelConfig ModelConfigFor(models::ModelKind kind,
+                                          const datagen::DatasetSpec& spec,
+                                          const GridConfig& grid) {
+  models::ModelConfig config;
+  config.embedding_dim = grid.quick ? 12 : 24;
+  config.time_dim = grid.quick ? 8 : 16;
+  config.num_neighbors = grid.quick ? 4 : 8;
+  config.num_layers = 2;
+  if (kind == models::ModelKind::kTgat) {
+    // TGAT's two-layer recursion touches K^2 neighbors per query; a smaller
+    // fan-out keeps the CPU grid tractable (the paper's GPU grid uses more,
+    // and still reports TGAT among the slower fast-models).
+    config.num_neighbors = grid.quick ? 3 : 5;
+  }
+  config.num_heads = 2;
+  config.num_walks = grid.quick ? 2 : 3;
+  config.walk_length = 2;
+  if (kind == models::ModelKind::kTgat) {
+    config.tgat_time_window = spec.tgat_time_window;
+  }
+  if (kind == models::ModelKind::kNeurTw && spec.coarse_granularity) {
+    // The paper's Appendix C Eq. (2)/(3) overflow-safe sampling weights.
+    config.walk_bias = graph::WalkBias::kLinearSafe;
+  }
+  return config;
+}
+
+inline core::TrainConfig TrainConfigFor(models::ModelKind kind,
+                                        const GridConfig& grid,
+                                        uint64_t seed) {
+  core::TrainConfig tc;
+  tc.max_epochs = IsWalkModel(kind) ? grid.max_epochs_walk
+                                    : grid.max_epochs_fast;
+  tc.batch_size = grid.batch_size;
+  tc.learning_rate = grid.learning_rate;
+  tc.seed = seed;
+  return tc;
+}
+
+/// Aggregated (mean ± std over runs) link-prediction outcome.
+struct AggregatedLp {
+  core::MeanStd auc[4];
+  core::MeanStd ap[4];
+  std::string annotation;
+  /// Efficiency of the last run (efficiency is deterministic enough).
+  core::EfficiencyStats efficiency;
+};
+
+inline AggregatedLp RunAggregatedLp(const datagen::DatasetSpec& spec,
+                                    const graph::TemporalGraph& g,
+                                    models::ModelKind kind,
+                                    const GridConfig& grid) {
+  AggregatedLp agg;
+  std::vector<double> auc[4], ap[4];
+  for (int run = 0; run < grid.runs; ++run) {
+    core::LinkPredictionJob job;
+    job.graph = &g;
+    job.num_users = spec.config.num_items > 0 ? spec.config.num_users : 0;
+    job.kind = kind;
+    job.model_config = ModelConfigFor(kind, spec, grid);
+    job.train_config = TrainConfigFor(kind, grid, 1000 + 13 * run);
+    const core::LinkPredictionResult result = core::RunLinkPrediction(job);
+    if (!result.annotation.empty()) agg.annotation = result.annotation;
+    if (result.status != models::ModelStatus::kOk) return agg;
+    for (int s = 0; s < 4; ++s) {
+      auc[s].push_back(result.test[s].auc);
+      ap[s].push_back(result.test[s].ap);
+    }
+    agg.efficiency = result.efficiency;
+  }
+  for (int s = 0; s < 4; ++s) {
+    agg.auc[s] = core::Summarize(auc[s]);
+    agg.ap[s] = core::Summarize(ap[s]);
+  }
+  return agg;
+}
+
+/// Adds one aggregated result to a leaderboard under all four settings.
+inline void PushToLeaderboard(core::Leaderboard* board,
+                              const std::string& model,
+                              const std::string& dataset,
+                              const AggregatedLp& agg,
+                              const std::string& metric) {
+  for (int s = 0; s < 4; ++s) {
+    core::LeaderboardRecord record;
+    record.model = model;
+    record.dataset = dataset;
+    record.task = "link_prediction";
+    record.setting = core::SettingName(static_cast<core::Setting>(s));
+    record.metric = metric;
+    const core::MeanStd& ms = metric == "AUC" ? agg.auc[s] : agg.ap[s];
+    record.mean = ms.mean;
+    record.std = ms.std;
+    record.annotation = agg.annotation;
+    board->Add(record);
+  }
+}
+
+/// Datasets selected by the BENCHTEMP_DATASETS env var (comma-separated
+/// names); empty selection = everything.
+inline std::vector<datagen::DatasetSpec> SelectedDatasets(
+    const std::vector<datagen::DatasetSpec>& all) {
+  const char* filter = std::getenv("BENCHTEMP_DATASETS");
+  if (filter == nullptr || filter[0] == '\0') return all;
+  std::vector<datagen::DatasetSpec> out;
+  const std::string list = std::string(",") + filter + ",";
+  for (const datagen::DatasetSpec& spec : all) {
+    if (list.find("," + spec.name + ",") != std::string::npos) {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+/// Loads a catalog dataset and applies the benchmark feature
+/// standardization at the grid's dimension.
+inline graph::TemporalGraph LoadBenchmark(const datagen::DatasetSpec& spec,
+                                          const GridConfig& grid) {
+  graph::TemporalGraph g = datagen::LoadDataset(spec);
+  g.InitNodeFeatures(grid.feature_dim);
+  return g;
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+}  // namespace benchtemp::bench
+
+#endif  // BENCHTEMP_BENCH_BENCH_COMMON_H_

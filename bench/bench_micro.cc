@@ -1,0 +1,174 @@
+// Micro-benchmarks of the substrates (google-benchmark): temporal
+// adjacency queries, walk sampling, negative sampling, the tensor kernels
+// behind every model, and metric computation. These are the operations the
+// paper's efficiency section attributes the model cost differences to
+// (e.g. "CAWN and NeurTW are much slower due to their inefficient temporal
+// walk operations").
+
+#include <benchmark/benchmark.h>
+
+#include "core/edge_sampler.h"
+#include "core/evaluator.h"
+#include "datagen/synthetic.h"
+#include "graph/neighbor_finder.h"
+#include "graph/walks.h"
+#include "tensor/autograd.h"
+#include "tensor/modules.h"
+
+namespace {
+
+using namespace benchtemp;
+
+graph::TemporalGraph& SharedGraph() {
+  static graph::TemporalGraph& g = *new graph::TemporalGraph([] {
+    datagen::SyntheticConfig cfg;
+    cfg.num_users = 500;
+    cfg.num_items = 200;
+    cfg.num_edges = 20000;
+    cfg.seed = 3;
+    return datagen::Generate(cfg);
+  }());
+  return g;
+}
+
+void BM_NeighborFinderBuild(benchmark::State& state) {
+  const graph::TemporalGraph& g = SharedGraph();
+  for (auto _ : state) {
+    graph::NeighborFinder finder(g);
+    benchmark::DoNotOptimize(finder.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_events());
+}
+BENCHMARK(BM_NeighborFinderBuild);
+
+void BM_NeighborFinderBeforeQuery(benchmark::State& state) {
+  const graph::TemporalGraph& g = SharedGraph();
+  graph::NeighborFinder finder(g);
+  tensor::Rng rng(1);
+  for (auto _ : state) {
+    int64_t count = 0;
+    finder.Before(static_cast<int32_t>(rng.UniformInt(g.num_nodes())),
+                  500.0, &count);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeighborFinderBeforeQuery);
+
+void BM_UniformNeighborSampling(benchmark::State& state) {
+  const graph::TemporalGraph& g = SharedGraph();
+  graph::NeighborFinder finder(g);
+  tensor::Rng rng(1);
+  for (auto _ : state) {
+    const auto sampled = finder.SampleUniform(
+        static_cast<int32_t>(rng.UniformInt(g.num_nodes())), 900.0,
+        state.range(0), rng);
+    benchmark::DoNotOptimize(sampled.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UniformNeighborSampling)->Arg(8)->Arg(32);
+
+void BM_TemporalWalk(benchmark::State& state) {
+  const graph::TemporalGraph& g = SharedGraph();
+  graph::NeighborFinder finder(g);
+  const graph::WalkBias bias =
+      state.range(0) == 0 ? graph::WalkBias::kUniform
+      : state.range(0) == 1 ? graph::WalkBias::kExponential
+                            : graph::WalkBias::kLinearSafe;
+  graph::TemporalWalkSampler sampler(bias, 0.01);
+  tensor::Rng rng(1);
+  for (auto _ : state) {
+    const auto walk = sampler.SampleWalk(
+        finder, static_cast<int32_t>(rng.UniformInt(g.num_nodes())), 900.0,
+        4, rng);
+    benchmark::DoNotOptimize(walk.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemporalWalk)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RandomNegativeSampling(benchmark::State& state) {
+  core::RandomEdgeSampler sampler(0, 700, 1);
+  std::vector<int32_t> srcs(200, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleNegatives(srcs));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_RandomNegativeSampling);
+
+void BM_MatMul(benchmark::State& state) {
+  tensor::Rng rng(1);
+  const int64_t n = state.range(0);
+  tensor::Var a = tensor::Constant(tensor::Tensor::Randn({n, n}, rng));
+  tensor::Var b = tensor::Constant(tensor::Tensor::Randn({n, n}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b)->value.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128);
+
+void BM_GruForwardBackward(benchmark::State& state) {
+  tensor::Rng rng(1);
+  tensor::GruCell gru(64, 64, rng);
+  tensor::Var x = tensor::Constant(tensor::Tensor::Randn({200, 64}, rng));
+  tensor::Var h = tensor::Constant(tensor::Tensor::Randn({200, 64}, rng));
+  for (auto _ : state) {
+    tensor::Var loss = tensor::Sum(gru.Forward(x, h));
+    tensor::ZeroGrad(gru.Parameters());
+    tensor::Backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_GruForwardBackward);
+
+void BM_AttentionForward(benchmark::State& state) {
+  tensor::Rng rng(1);
+  const int64_t k = 8;
+  tensor::MultiHeadAttention attn(64, 64, 64, 2, rng);
+  tensor::Var q = tensor::Constant(tensor::Tensor::Randn({200, 64}, rng));
+  tensor::Var kv =
+      tensor::Constant(tensor::Tensor::Randn({200 * k, 64}, rng));
+  tensor::Tensor mask = tensor::Tensor::Ones({200, k});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attn.Forward(q, kv, kv, mask, k)->value.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * k);
+}
+BENCHMARK(BM_AttentionForward);
+
+void BM_RocAuc(benchmark::State& state) {
+  tensor::Rng rng(1);
+  const int64_t n = state.range(0);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int64_t i = 0; i < n; ++i) {
+    scores.push_back(rng.UniformReal(0.0f, 1.0f));
+    labels.push_back(static_cast<int>(rng.UniformInt(2)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RocAuc(scores, labels));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RocAuc)->Arg(1000)->Arg(100000);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_items = 120;
+  cfg.num_edges = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::Generate(cfg).num_events());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces Table 3 (link-prediction ROC AUC) and Table 10 (AP) of the
+// paper: 7 TGNN models x 15 benchmark datasets x 4 settings
+// (Transductive / Inductive / Inductive New-Old / Inductive New-New).
+//
+// "**" marks the best cell, "_" the second best (not shown when trailing by
+// > 0.05), "*" a runtime error (TGAT on UNTrade), "x" non-convergence —
+// the paper's own annotations.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace benchtemp;
+  const bench::GridConfig grid = bench::DefaultGrid();
+  std::printf(
+      "Table 3 / Table 10 reproduction: link prediction on the 15 benchmark "
+      "datasets\n(runs=%d, feature_dim=%lld; paper settings: 3 runs, dim "
+      "172)\n\n",
+      grid.runs, static_cast<long long>(grid.feature_dim));
+
+  core::Leaderboard auc_board, ap_board;
+  std::vector<std::string> model_names, dataset_names;
+  for (models::ModelKind kind : models::PaperModels()) {
+    model_names.push_back(models::ModelKindName(kind));
+  }
+  for (const datagen::DatasetSpec& spec : bench::SelectedDatasets(datagen::MainDatasets())) {
+    dataset_names.push_back(spec.name);
+    graph::TemporalGraph g = bench::LoadBenchmark(spec, grid);
+    for (models::ModelKind kind : models::PaperModels()) {
+      const bench::AggregatedLp agg =
+          bench::RunAggregatedLp(spec, g, kind, grid);
+      bench::PushToLeaderboard(&auc_board, models::ModelKindName(kind),
+                               spec.name, agg, "AUC");
+      bench::PushToLeaderboard(&ap_board, models::ModelKindName(kind),
+                               spec.name, agg, "AP");
+      std::fprintf(stderr, "done %s / %s%s\n", spec.name.c_str(),
+                   models::ModelKindName(kind), agg.annotation.c_str());
+    }
+  }
+
+  for (int s = 0; s < 4; ++s) {
+    const char* setting = core::SettingName(static_cast<core::Setting>(s));
+    std::printf("=== ROC AUC, %s ===\n", setting);
+    std::printf("%s\n",
+                auc_board
+                    .FormatTable(model_names, dataset_names,
+                                 "link_prediction", setting, "AUC")
+                    .c_str());
+  }
+  for (int s = 0; s < 4; ++s) {
+    const char* setting = core::SettingName(static_cast<core::Setting>(s));
+    std::printf("=== AP (Table 10), %s ===\n", setting);
+    std::printf("%s\n",
+                ap_board
+                    .FormatTable(model_names, dataset_names,
+                                 "link_prediction", setting, "AP")
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Table 6 (link-prediction split statistics: #nodes/#edges of
+// the training / validation / transductive test / inductive / New-Old /
+// New-New sets plus unseen-node counts) and Table 7 (node-classification
+// split statistics), for the scaled benchmark datasets.
+// Also prints the Table 2 dataset statistics next to the paper's values.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace benchtemp;
+  const bench::GridConfig grid = bench::DefaultGrid();
+
+  std::printf("=== Table 2: dataset statistics (scaled | paper) ===\n");
+  std::printf("%-22s %10s %10s %10s %8s %s\n", "Dataset", "#nodes", "#edges",
+              "avg.deg", "reuse", "paper (#nodes/#edges/avg.deg)");
+  auto print_stats = [&](const datagen::DatasetSpec& spec) {
+    graph::TemporalGraph g = datagen::LoadDataset(spec);
+    const auto stats = g.ComputeStats();
+    std::printf("%-22s %10lld %10lld %10.2f %8.2f %lld / %lld / %.2f%s\n",
+                spec.name.c_str(), static_cast<long long>(stats.num_nodes),
+                static_cast<long long>(stats.num_edges), stats.avg_degree,
+                stats.edge_reuse_ratio,
+                static_cast<long long>(spec.paper.num_nodes),
+                static_cast<long long>(spec.paper.num_edges),
+                spec.paper.avg_degree,
+                spec.paper.heterogeneous ? "  [bipartite]" : "");
+  };
+  for (const auto& spec : datagen::MainDatasets()) print_stats(spec);
+  for (const auto& spec : datagen::NewDatasets()) print_stats(spec);
+
+  std::printf("\n=== Table 6: link-prediction split statistics ===\n");
+  std::printf("%-12s %16s %16s %16s %16s %16s %16s %8s\n", "Dataset",
+              "train(n/e)", "val(n/e)", "test(n/e)", "ind.test(n/e)",
+              "NewOld(n/e)", "NewNew(n/e)", "unseen");
+  for (const auto& spec : datagen::MainDatasets()) {
+    graph::TemporalGraph g = bench::LoadBenchmark(spec, grid);
+    const core::LinkPredictionSplit split =
+        core::SplitLinkPrediction(g, core::SplitConfig());
+    auto cell = [&](const std::vector<int64_t>& events) {
+      const core::SetStats s = core::ComputeSetStats(g, events);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld/%lld",
+                    static_cast<long long>(s.num_nodes),
+                    static_cast<long long>(s.num_edges));
+      return std::string(buf);
+    };
+    std::printf("%-12s %16s %16s %16s %16s %16s %16s %8lld\n",
+                spec.name.c_str(), cell(split.train_events).c_str(),
+                cell(split.val_events).c_str(),
+                cell(split.test_events).c_str(),
+                cell(split.test_inductive).c_str(),
+                cell(split.test_new_old).c_str(),
+                cell(split.test_new_new).c_str(),
+                static_cast<long long>(split.num_unseen_nodes));
+  }
+
+  std::printf("\n=== Table 7: node-classification split statistics ===\n");
+  std::printf("%-12s %16s %16s %16s\n", "Dataset", "train(n/e)", "val(n/e)",
+              "test(n/e)");
+  for (const char* name : {"Reddit", "Wikipedia", "MOOC"}) {
+    const datagen::DatasetSpec* spec = datagen::FindDataset(name);
+    graph::TemporalGraph g = bench::LoadBenchmark(*spec, grid);
+    const core::NodeClassificationSplit split =
+        core::SplitNodeClassification(g, core::SplitConfig());
+    auto cell = [&](const std::vector<int64_t>& events) {
+      const core::SetStats s = core::ComputeSetStats(g, events);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld/%lld",
+                    static_cast<long long>(s.num_nodes),
+                    static_cast<long long>(s.num_edges));
+      return std::string(buf);
+    };
+    std::printf("%-12s %16s %16s %16s\n", name,
+                cell(split.train_events).c_str(),
+                cell(split.val_events).c_str(),
+                cell(split.test_events).c_str());
+  }
+  return 0;
+}

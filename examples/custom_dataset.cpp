@@ -1,0 +1,77 @@
+// Bring-your-own-dataset: the paper's Dataset module accepts user-generated
+// benchmark datasets. This example writes a raw interaction CSV with messy
+// (sparse, non-contiguous) node ids, loads it back, runs the benchmark
+// construction step (node reindexing + standardized feature initialization,
+// Section 3.1), and trains a model on the result.
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "core/reindex.h"
+#include "core/trainer.h"
+#include "datagen/csv.h"
+#include "datagen/synthetic.h"
+#include "models/factory.h"
+
+int main() {
+  using namespace benchtemp;
+
+  // Pretend this came from your production logs: node ids are sparse, and
+  // users return to items they interacted with before (the recency signal
+  // temporal models pick up).
+  graph::TemporalGraph raw;
+  tensor::Rng rng(17);
+  std::vector<std::pair<int32_t, int32_t>> history;
+  for (int i = 0; i < 1200; ++i) {
+    int32_t user, item;
+    if (!history.empty() && rng.Bernoulli(0.6)) {
+      const auto& repeat = history[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(history.size())))];
+      user = repeat.first;
+      item = repeat.second;
+    } else {
+      user = 1000 + static_cast<int32_t>(rng.Zipf(50, 1.1)) * 7;
+      item = 90000 + static_cast<int32_t>(rng.Zipf(20, 1.1)) * 13;
+    }
+    history.emplace_back(user, item);
+    raw.AddInteraction(user, item, static_cast<double>(i));
+  }
+  raw.SetEdgeFeatures(tensor::Tensor::Randn({raw.num_events(), 4}, rng));
+  const char* path = "/tmp/benchtemp_custom_dataset.csv";
+  if (!datagen::SaveCsv(raw, path)) {
+    std::printf("failed to write %s\n", path);
+    return 1;
+  }
+
+  graph::TemporalGraph loaded;
+  if (!datagen::LoadCsv(path, &loaded)) {
+    std::printf("failed to load %s\n", path);
+    return 1;
+  }
+  std::printf("raw id space: %d ids for %lld events\n", loaded.num_nodes(),
+              static_cast<long long>(loaded.num_events()));
+
+  // Benchmark construction: compact the id space (Fig. 3a) and initialize
+  // node features at a standard dimension.
+  core::ReindexResult benchmark =
+      core::BuildBenchmarkDataset(loaded, /*heterogeneous=*/true,
+                                  /*feature_dim=*/64);
+  std::printf("reindexed: %d nodes (%d users), feature matrix %lld x %lld\n",
+              benchmark.graph.num_nodes(), benchmark.num_users,
+              static_cast<long long>(benchmark.graph.node_features().rows()),
+              static_cast<long long>(benchmark.graph.node_feature_dim()));
+
+  core::LinkPredictionJob job;
+  job.graph = &benchmark.graph;
+  job.num_users = benchmark.num_users;
+  job.kind = models::ModelKind::kNat;
+  job.model_config.embedding_dim = 16;
+  job.model_config.time_dim = 8;
+  job.train_config.max_epochs = 8;
+  job.train_config.learning_rate = 1e-3f;
+  const core::LinkPredictionResult result = core::RunLinkPrediction(job);
+  std::printf("NAT on the custom dataset: transductive AUC %.4f\n",
+              result.test[0].auc);
+  unlink(path);
+  return 0;
+}

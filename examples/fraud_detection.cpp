@@ -1,0 +1,46 @@
+// Fraud detection via dynamic node classification — the DGraphFin-style
+// workload of Appendix G: a financial interaction network where a small
+// fraction of users turn fraudulent over time and the task is to flag their
+// events.
+//
+// Runs the node-classification pipeline (LP pre-training -> frozen
+// embeddings -> MLP decoder) for two models and reports AUC plus the
+// support-weighted precision/recall/F1 of Appendix G.
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "datagen/catalog.h"
+#include "models/factory.h"
+
+int main() {
+  using namespace benchtemp;
+
+  const datagen::DatasetSpec* spec = datagen::FindDataset("eBay-Small");
+  graph::TemporalGraph g = datagen::LoadDataset(*spec);
+  g.InitNodeFeatures(32);
+  std::printf("dataset %s: %lld events, %d nodes, labels=%d-way\n",
+              spec->name.c_str(), static_cast<long long>(g.num_events()),
+              g.num_nodes(), g.NumLabelClasses());
+
+  for (models::ModelKind kind :
+       {models::ModelKind::kTgn, models::ModelKind::kTgat}) {
+    core::NodeClassificationJob job;
+    job.graph = &g;
+    job.num_users = spec->config.num_users;
+    job.kind = kind;
+    job.model_config.embedding_dim = 32;
+    job.model_config.time_dim = 16;
+    job.train_config.learning_rate = 1e-3f;
+    job.pretrain_epochs = 3;
+    job.decoder_epochs = 40;
+    const core::NodeClassificationResult result =
+        core::RunNodeClassification(job);
+    std::printf(
+        "%-8s AUC %.4f  acc %.4f  P %.4f  R %.4f  F1 %.4f  (%.2fs/epoch)\n",
+        models::ModelKindName(kind), result.test_auc, result.accuracy,
+        result.precision_weighted, result.recall_weighted,
+        result.f1_weighted, result.efficiency.seconds_per_epoch);
+  }
+  return 0;
+}

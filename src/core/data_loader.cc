@@ -1,0 +1,158 @@
+#include "core/data_loader.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/random.h"
+
+namespace benchtemp::core {
+
+const char* SettingName(Setting setting) {
+  switch (setting) {
+    case Setting::kTransductive:
+      return "Transductive";
+    case Setting::kInductive:
+      return "Inductive";
+    case Setting::kInductiveNewOld:
+      return "Inductive New-Old";
+    case Setting::kInductiveNewNew:
+      return "Inductive New-New";
+  }
+  return "?";
+}
+
+const std::vector<int64_t>& LinkPredictionSplit::TestSet(
+    Setting setting) const {
+  switch (setting) {
+    case Setting::kTransductive:
+      return test_events;
+    case Setting::kInductive:
+      return test_inductive;
+    case Setting::kInductiveNewOld:
+      return test_new_old;
+    case Setting::kInductiveNewNew:
+      return test_new_new;
+  }
+  return test_events;
+}
+
+const std::vector<int64_t>& LinkPredictionSplit::ValSet(
+    Setting setting) const {
+  switch (setting) {
+    case Setting::kTransductive:
+      return val_events;
+    case Setting::kInductive:
+      return val_inductive;
+    case Setting::kInductiveNewOld:
+      return val_new_old;
+    case Setting::kInductiveNewNew:
+      return val_new_new;
+  }
+  return val_events;
+}
+
+LinkPredictionSplit SplitLinkPrediction(const graph::TemporalGraph& graph,
+                                        const SplitConfig& config) {
+  tensor::CheckOrDie(graph.IsChronological(),
+                     "SplitLinkPrediction: graph must be sorted by time");
+  const int64_t n = graph.num_events();
+  LinkPredictionSplit split;
+  split.val_end = n - static_cast<int64_t>(config.test_fraction *
+                                           static_cast<double>(n));
+  split.train_end =
+      split.val_end -
+      static_cast<int64_t>(config.val_fraction * static_cast<double>(n));
+
+  // Candidate unseen nodes: any node active in the val/test windows. This
+  // guarantees that masked nodes actually occur at evaluation time.
+  std::vector<int32_t> eval_nodes;
+  {
+    std::unordered_set<int32_t> seen;
+    for (int64_t i = split.train_end; i < n; ++i) {
+      const graph::Interaction& e = graph.event(i);
+      if (seen.insert(e.src).second) eval_nodes.push_back(e.src);
+      if (seen.insert(e.dst).second) eval_nodes.push_back(e.dst);
+    }
+  }
+  std::sort(eval_nodes.begin(), eval_nodes.end());
+  tensor::Rng rng(config.seed);
+  // Fisher-Yates prefix shuffle to pick the masked subset.
+  const int64_t target = std::min<int64_t>(
+      static_cast<int64_t>(config.unseen_fraction *
+                           static_cast<double>(graph.num_nodes())),
+      static_cast<int64_t>(eval_nodes.size()));
+  for (int64_t i = 0; i < target; ++i) {
+    const int64_t j =
+        i + rng.UniformInt(static_cast<int64_t>(eval_nodes.size()) - i);
+    std::swap(eval_nodes[static_cast<size_t>(i)],
+              eval_nodes[static_cast<size_t>(j)]);
+  }
+  split.is_unseen.assign(static_cast<size_t>(graph.num_nodes()), 0);
+  for (int64_t i = 0; i < target; ++i) {
+    split.is_unseen[static_cast<size_t>(eval_nodes[static_cast<size_t>(i)])] =
+        1;
+  }
+  split.num_unseen_nodes = target;
+
+  auto unseen = [&split](int32_t node) {
+    return split.is_unseen[static_cast<size_t>(node)] != 0;
+  };
+
+  for (int64_t i = 0; i < split.train_end; ++i) {
+    const graph::Interaction& e = graph.event(i);
+    if (!unseen(e.src) && !unseen(e.dst)) split.train_events.push_back(i);
+  }
+  auto classify = [&](int64_t i, std::vector<int64_t>& all,
+                      std::vector<int64_t>& inductive,
+                      std::vector<int64_t>& new_old,
+                      std::vector<int64_t>& new_new) {
+    const graph::Interaction& e = graph.event(i);
+    all.push_back(i);
+    const int unseen_count = (unseen(e.src) ? 1 : 0) + (unseen(e.dst) ? 1 : 0);
+    if (unseen_count >= 1) inductive.push_back(i);
+    if (unseen_count == 1) new_old.push_back(i);
+    if (unseen_count == 2) new_new.push_back(i);
+  };
+  for (int64_t i = split.train_end; i < split.val_end; ++i) {
+    classify(i, split.val_events, split.val_inductive, split.val_new_old,
+             split.val_new_new);
+  }
+  for (int64_t i = split.val_end; i < n; ++i) {
+    classify(i, split.test_events, split.test_inductive, split.test_new_old,
+             split.test_new_new);
+  }
+  return split;
+}
+
+SetStats ComputeSetStats(const graph::TemporalGraph& graph,
+                         const std::vector<int64_t>& events) {
+  SetStats stats;
+  std::unordered_set<int32_t> nodes;
+  for (int64_t i : events) {
+    const graph::Interaction& e = graph.event(i);
+    nodes.insert(e.src);
+    nodes.insert(e.dst);
+  }
+  stats.num_nodes = static_cast<int64_t>(nodes.size());
+  stats.num_edges = static_cast<int64_t>(events.size());
+  return stats;
+}
+
+NodeClassificationSplit SplitNodeClassification(
+    const graph::TemporalGraph& graph, const SplitConfig& config) {
+  tensor::CheckOrDie(graph.IsChronological(),
+                     "SplitNodeClassification: graph must be sorted by time");
+  const int64_t n = graph.num_events();
+  const int64_t val_end = n - static_cast<int64_t>(config.test_fraction *
+                                                   static_cast<double>(n));
+  const int64_t train_end =
+      val_end -
+      static_cast<int64_t>(config.val_fraction * static_cast<double>(n));
+  NodeClassificationSplit split;
+  for (int64_t i = 0; i < train_end; ++i) split.train_events.push_back(i);
+  for (int64_t i = train_end; i < val_end; ++i) split.val_events.push_back(i);
+  for (int64_t i = val_end; i < n; ++i) split.test_events.push_back(i);
+  return split;
+}
+
+}  // namespace benchtemp::core

@@ -1,0 +1,20 @@
+#include "core/early_stop.h"
+
+namespace benchtemp::core {
+
+EarlyStopMonitor::EarlyStopMonitor(int patience, double tolerance)
+    : patience_(patience), tolerance_(tolerance) {}
+
+bool EarlyStopMonitor::Update(double metric) {
+  if (metric > best_metric_ + tolerance_) {
+    best_metric_ = metric;
+    best_epoch_ = epoch_;
+    rounds_ = 0;
+  } else {
+    ++rounds_;
+  }
+  ++epoch_;
+  return rounds_ >= patience_;
+}
+
+}  // namespace benchtemp::core

@@ -1,0 +1,37 @@
+#ifndef BENCHTEMP_CORE_EARLY_STOP_H_
+#define BENCHTEMP_CORE_EARLY_STOP_H_
+
+#include <cstdint>
+
+namespace benchtemp::core {
+
+/// The paper's unified EarlyStopMonitor: training stops when the validation
+/// metric fails to improve by more than `tolerance` for `patience`
+/// consecutive epochs (defaults: patience 3, tolerance 1e-3).
+class EarlyStopMonitor {
+ public:
+  explicit EarlyStopMonitor(int patience = 3, double tolerance = 1e-3);
+
+  /// Records one epoch's validation metric (higher is better). Returns true
+  /// when training should stop.
+  bool Update(double metric);
+
+  double best_metric() const { return best_metric_; }
+  /// Epoch index (0-based) of the best metric so far.
+  int best_epoch() const { return best_epoch_; }
+  /// Number of Update() calls so far.
+  int epochs() const { return epoch_; }
+  int rounds_without_improvement() const { return rounds_; }
+
+ private:
+  int patience_;
+  double tolerance_;
+  double best_metric_ = -1e30;
+  int best_epoch_ = -1;
+  int epoch_ = 0;
+  int rounds_ = 0;
+};
+
+}  // namespace benchtemp::core
+
+#endif  // BENCHTEMP_CORE_EARLY_STOP_H_

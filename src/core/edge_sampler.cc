@@ -1,0 +1,141 @@
+#include "core/edge_sampler.h"
+
+#include <algorithm>
+
+namespace benchtemp::core {
+
+const char* NegativeSamplingName(NegativeSampling mode) {
+  switch (mode) {
+    case NegativeSampling::kRandom:
+      return "Random";
+    case NegativeSampling::kHistorical:
+      return "Historical";
+    case NegativeSampling::kInductive:
+      return "Inductive";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// RandomEdgeSampler.
+// ---------------------------------------------------------------------------
+
+RandomEdgeSampler::RandomEdgeSampler(int32_t dst_lo, int32_t dst_hi,
+                                     uint64_t seed)
+    : dst_lo_(dst_lo), dst_hi_(dst_hi), seed_(seed), rng_(seed) {
+  tensor::CheckOrDie(dst_hi > dst_lo, "RandomEdgeSampler: empty range");
+}
+
+std::vector<int32_t> RandomEdgeSampler::SampleNegatives(
+    const std::vector<int32_t>& srcs) {
+  std::vector<int32_t> out;
+  out.reserve(srcs.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    out.push_back(dst_lo_ +
+                  static_cast<int32_t>(rng_.UniformInt(dst_hi_ - dst_lo_)));
+  }
+  return out;
+}
+
+void RandomEdgeSampler::Reset() { rng_ = tensor::Rng(seed_); }
+
+// ---------------------------------------------------------------------------
+// HistoricalEdgeSampler.
+// ---------------------------------------------------------------------------
+
+HistoricalEdgeSampler::HistoricalEdgeSampler(
+    const graph::TemporalGraph& graph,
+    const std::vector<int64_t>& train_events, int32_t dst_lo, int32_t dst_hi,
+    uint64_t seed)
+    : dst_lo_(dst_lo), dst_hi_(dst_hi), seed_(seed), rng_(seed) {
+  tensor::CheckOrDie(dst_hi > dst_lo, "HistoricalEdgeSampler: empty range");
+  history_.resize(static_cast<size_t>(graph.num_nodes()));
+  for (int64_t i : train_events) {
+    const graph::Interaction& e = graph.event(i);
+    history_[static_cast<size_t>(e.src)].push_back(e.dst);
+  }
+}
+
+std::vector<int32_t> HistoricalEdgeSampler::SampleNegatives(
+    const std::vector<int32_t>& srcs) {
+  std::vector<int32_t> out;
+  out.reserve(srcs.size());
+  for (int32_t src : srcs) {
+    const auto& hist = history_[static_cast<size_t>(src)];
+    if (hist.empty()) {
+      out.push_back(dst_lo_ +
+                    static_cast<int32_t>(rng_.UniformInt(dst_hi_ - dst_lo_)));
+    } else {
+      out.push_back(
+          hist[static_cast<size_t>(
+              rng_.UniformInt(static_cast<int64_t>(hist.size())))]);
+    }
+  }
+  return out;
+}
+
+void HistoricalEdgeSampler::Reset() { rng_ = tensor::Rng(seed_); }
+
+// ---------------------------------------------------------------------------
+// InductiveEdgeSampler.
+// ---------------------------------------------------------------------------
+
+InductiveEdgeSampler::InductiveEdgeSampler(
+    const graph::TemporalGraph& graph,
+    const std::vector<int64_t>& train_events, int32_t dst_lo, int32_t dst_hi,
+    uint64_t seed)
+    : dst_lo_(dst_lo), dst_hi_(dst_hi), seed_(seed), rng_(seed) {
+  tensor::CheckOrDie(dst_hi > dst_lo, "InductiveEdgeSampler: empty range");
+  std::unordered_set<int64_t> train_pairs;
+  for (int64_t i : train_events) {
+    const graph::Interaction& e = graph.event(i);
+    train_pairs.insert(static_cast<int64_t>(e.src) * graph.num_nodes() +
+                       e.dst);
+  }
+  std::unordered_set<int32_t> dsts;
+  for (int64_t i = 0; i < graph.num_events(); ++i) {
+    const graph::Interaction& e = graph.event(i);
+    const int64_t key =
+        static_cast<int64_t>(e.src) * graph.num_nodes() + e.dst;
+    if (train_pairs.count(key) == 0) dsts.insert(e.dst);
+  }
+  unseen_dsts_.assign(dsts.begin(), dsts.end());
+  std::sort(unseen_dsts_.begin(), unseen_dsts_.end());
+}
+
+std::vector<int32_t> InductiveEdgeSampler::SampleNegatives(
+    const std::vector<int32_t>& srcs) {
+  std::vector<int32_t> out;
+  out.reserve(srcs.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    if (unseen_dsts_.empty()) {
+      out.push_back(dst_lo_ +
+                    static_cast<int32_t>(rng_.UniformInt(dst_hi_ - dst_lo_)));
+    } else {
+      out.push_back(unseen_dsts_[static_cast<size_t>(
+          rng_.UniformInt(static_cast<int64_t>(unseen_dsts_.size())))]);
+    }
+  }
+  return out;
+}
+
+void InductiveEdgeSampler::Reset() { rng_ = tensor::Rng(seed_); }
+
+std::unique_ptr<EdgeSampler> MakeEdgeSampler(
+    NegativeSampling mode, const graph::TemporalGraph& graph,
+    const std::vector<int64_t>& train_events, int32_t dst_lo, int32_t dst_hi,
+    uint64_t seed) {
+  switch (mode) {
+    case NegativeSampling::kRandom:
+      return std::make_unique<RandomEdgeSampler>(dst_lo, dst_hi, seed);
+    case NegativeSampling::kHistorical:
+      return std::make_unique<HistoricalEdgeSampler>(graph, train_events,
+                                                     dst_lo, dst_hi, seed);
+    case NegativeSampling::kInductive:
+      return std::make_unique<InductiveEdgeSampler>(graph, train_events,
+                                                    dst_lo, dst_hi, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace benchtemp::core

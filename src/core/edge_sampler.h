@@ -1,0 +1,107 @@
+#ifndef BENCHTEMP_CORE_EDGE_SAMPLER_H_
+#define BENCHTEMP_CORE_EDGE_SAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "tensor/random.h"
+
+namespace benchtemp::core {
+
+/// Negative edge sampler interface (link prediction is self-supervised, so
+/// each observed edge is paired with sampled negatives).
+///
+/// Samplers are seeded; `Reset()` rewinds the stream so validation/test
+/// negatives are identical across epochs, models and runs — one of the
+/// paper's standardization points.
+class EdgeSampler {
+ public:
+  virtual ~EdgeSampler() = default;
+
+  /// One negative destination per source in `srcs`.
+  virtual std::vector<int32_t> SampleNegatives(
+      const std::vector<int32_t>& srcs) = 0;
+
+  /// Rewinds the deterministic stream to its initial seed.
+  virtual void Reset() = 0;
+};
+
+/// Uniform negatives over the destination id range [dst_lo, dst_hi).
+/// For bipartite graphs the range is the item block; for homogeneous graphs
+/// the whole node range.
+class RandomEdgeSampler : public EdgeSampler {
+ public:
+  RandomEdgeSampler(int32_t dst_lo, int32_t dst_hi, uint64_t seed);
+
+  std::vector<int32_t> SampleNegatives(
+      const std::vector<int32_t>& srcs) override;
+  void Reset() override;
+
+ private:
+  int32_t dst_lo_;
+  int32_t dst_hi_;
+  uint64_t seed_;
+  tensor::Rng rng_;
+};
+
+/// Historical negative sampling (Appendix J, Fig. 10a): negatives are edges
+/// observed during *previous* timestamps — here, destinations the source
+/// interacted with in the training stream. Falls back to uniform when the
+/// source has no history.
+class HistoricalEdgeSampler : public EdgeSampler {
+ public:
+  /// `graph` + `train_events` define E_train.
+  HistoricalEdgeSampler(const graph::TemporalGraph& graph,
+                        const std::vector<int64_t>& train_events,
+                        int32_t dst_lo, int32_t dst_hi, uint64_t seed);
+
+  std::vector<int32_t> SampleNegatives(
+      const std::vector<int32_t>& srcs) override;
+  void Reset() override;
+
+ private:
+  std::vector<std::vector<int32_t>> history_;  // per-source train dsts
+  int32_t dst_lo_;
+  int32_t dst_hi_;
+  uint64_t seed_;
+  tensor::Rng rng_;
+};
+
+/// Inductive negative sampling (Appendix J, Fig. 10b): negatives drawn from
+/// edges in E_all that were *not* observed during training.
+class InductiveEdgeSampler : public EdgeSampler {
+ public:
+  InductiveEdgeSampler(const graph::TemporalGraph& graph,
+                       const std::vector<int64_t>& train_events,
+                       int32_t dst_lo, int32_t dst_hi, uint64_t seed);
+
+  std::vector<int32_t> SampleNegatives(
+      const std::vector<int32_t>& srcs) override;
+  void Reset() override;
+
+ private:
+  /// Destinations of edges present in val/test but absent from E_train.
+  std::vector<int32_t> unseen_dsts_;
+  int32_t dst_lo_;
+  int32_t dst_hi_;
+  uint64_t seed_;
+  tensor::Rng rng_;
+};
+
+/// Which negative sampler a pipeline run uses.
+enum class NegativeSampling { kRandom, kHistorical, kInductive };
+
+const char* NegativeSamplingName(NegativeSampling mode);
+
+/// Factory covering the three strategies.
+std::unique_ptr<EdgeSampler> MakeEdgeSampler(
+    NegativeSampling mode, const graph::TemporalGraph& graph,
+    const std::vector<int64_t>& train_events, int32_t dst_lo, int32_t dst_hi,
+    uint64_t seed);
+
+}  // namespace benchtemp::core
+
+#endif  // BENCHTEMP_CORE_EDGE_SAMPLER_H_

@@ -1,0 +1,50 @@
+#ifndef BENCHTEMP_CORE_EVALUATOR_H_
+#define BENCHTEMP_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace benchtemp::core {
+
+/// Evaluation metrics (Section 3.2.1 Evaluator module): ROC AUC and AP for
+/// link prediction / binary node classification, plus the weighted
+/// multi-class metrics used for DGraphFin (Appendix G).
+
+/// Area under the ROC curve of `scores` against binary `labels` (0/1).
+/// Ties receive the standard half-credit. Returns 0.5 when one class is
+/// absent (degenerate input).
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Average precision (area under the precision-recall curve, step-wise, as
+/// computed by scikit-learn's average_precision_score). Returns the positive
+/// rate when no positive exists.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// Multi-class accuracy of argmax predictions.
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& actual);
+
+/// Weighted precision/recall/F1 (support-weighted one-vs-rest, the formulas
+/// of Appendix G).
+struct WeightedPrf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+WeightedPrf WeightedPrecisionRecallF1(const std::vector<int>& predicted,
+                                      const std::vector<int>& actual,
+                                      int num_classes);
+
+/// Mean and (population) standard deviation over repeated runs — the paper
+/// reports "mean ± std over three runs".
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+}  // namespace benchtemp::core
+
+#endif  // BENCHTEMP_CORE_EVALUATOR_H_

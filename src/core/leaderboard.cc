@@ -1,0 +1,143 @@
+#include "core/leaderboard.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace benchtemp::core {
+
+namespace {
+
+std::string FormatCell(const LeaderboardRecord& r, const char* marker) {
+  if (!r.annotation.empty()) return r.annotation;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%.4f±%.4f", marker, r.mean, r.std);
+  return buf;
+}
+
+}  // namespace
+
+void Leaderboard::Add(LeaderboardRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void Leaderboard::Clear() { records_.clear(); }
+
+std::vector<LeaderboardRecord> Leaderboard::Select(
+    const std::string& dataset, const std::string& task,
+    const std::string& setting, const std::string& metric) const {
+  std::vector<LeaderboardRecord> out;
+  for (const LeaderboardRecord& r : records_) {
+    if (r.dataset == dataset && r.task == task && r.setting == setting &&
+        r.metric == metric) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+const LeaderboardRecord* Leaderboard::Find(const std::string& model,
+                                           const std::string& dataset,
+                                           const std::string& task,
+                                           const std::string& setting,
+                                           const std::string& metric) const {
+  for (const LeaderboardRecord& r : records_) {
+    if (r.model == model && r.dataset == dataset && r.task == task &&
+        r.setting == setting && r.metric == metric) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+int Leaderboard::Rank(const std::string& model, const std::string& dataset,
+                      const std::string& task, const std::string& setting,
+                      const std::string& metric) const {
+  const LeaderboardRecord* mine = Find(model, dataset, task, setting, metric);
+  if (mine == nullptr || !mine->annotation.empty()) return 0;
+  int rank = 1;
+  for (const LeaderboardRecord& r : Select(dataset, task, setting, metric)) {
+    if (r.annotation.empty() && r.mean > mine->mean) ++rank;
+  }
+  return rank;
+}
+
+double Leaderboard::AverageRank(const std::string& model,
+                                const std::vector<std::string>& datasets,
+                                const std::string& task,
+                                const std::string& setting,
+                                const std::string& metric) const {
+  double total = 0.0;
+  int counted = 0;
+  for (const std::string& dataset : datasets) {
+    const auto cell = Select(dataset, task, setting, metric);
+    if (cell.empty()) continue;
+    int rank = Rank(model, dataset, task, setting, metric);
+    if (rank == 0) rank = static_cast<int>(cell.size());  // failed => worst
+    total += rank;
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+std::string Leaderboard::FormatTable(const std::vector<std::string>& models,
+                                     const std::vector<std::string>& datasets,
+                                     const std::string& task,
+                                     const std::string& setting,
+                                     const std::string& metric,
+                                     double second_gap) const {
+  std::string out;
+  out += "Dataset";
+  for (const std::string& m : models) out += "\t" + m;
+  out += "\n";
+  for (const std::string& dataset : datasets) {
+    // Identify best and second-best means among non-failed cells.
+    double best = -1e30, second = -1e30;
+    for (const std::string& m : models) {
+      const LeaderboardRecord* r = Find(m, dataset, task, setting, metric);
+      if (r == nullptr || !r->annotation.empty()) continue;
+      if (r->mean > best) {
+        second = best;
+        best = r->mean;
+      } else if (r->mean > second) {
+        second = r->mean;
+      }
+    }
+    out += dataset;
+    for (const std::string& m : models) {
+      const LeaderboardRecord* r = Find(m, dataset, task, setting, metric);
+      out += "\t";
+      if (r == nullptr) {
+        out += "-";
+        continue;
+      }
+      const char* marker = "";
+      if (r->annotation.empty()) {
+        if (r->mean == best) {
+          marker = "**";
+        } else if (r->mean == second && best - second <= second_gap) {
+          marker = "_";
+        }
+      }
+      out += FormatCell(*r, marker);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Leaderboard::ToMarkdown() const {
+  std::string out =
+      "| Model | Dataset | Task | Setting | Metric | Mean | Std | Note |\n"
+      "|---|---|---|---|---|---|---|---|\n";
+  for (const LeaderboardRecord& r : records_) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "| %s | %s | %s | %s | %s | %.4f | %.4f | %s |\n",
+                  r.model.c_str(), r.dataset.c_str(), r.task.c_str(),
+                  r.setting.c_str(), r.metric.c_str(), r.mean, r.std,
+                  r.annotation.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace benchtemp::core

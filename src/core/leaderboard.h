@@ -1,0 +1,77 @@
+#ifndef BENCHTEMP_CORE_LEADERBOARD_H_
+#define BENCHTEMP_CORE_LEADERBOARD_H_
+
+#include <string>
+#include <vector>
+
+namespace benchtemp::core {
+
+/// One leaderboard entry: a (model, dataset, task, setting, metric) cell
+/// with the run statistics the paper reports (mean ± std).
+struct LeaderboardRecord {
+  std::string model;
+  std::string dataset;
+  std::string task;     // "link_prediction" / "node_classification"
+  std::string setting;  // "Transductive", "Inductive", ...
+  std::string metric;   // "AUC", "AP", ...
+  double mean = 0.0;
+  double std = 0.0;
+  /// Set when the job failed: "*" runtime error, "-" timeout, "x" did not
+  /// converge (the paper's Table 3/4 annotations).
+  std::string annotation;
+};
+
+/// The pipeline's Leaderboard module: collects run results, ranks models,
+/// and renders paper-style tables.
+class Leaderboard {
+ public:
+  void Add(LeaderboardRecord record);
+  void Clear();
+
+  const std::vector<LeaderboardRecord>& records() const { return records_; }
+
+  /// Records matching a (dataset, task, setting, metric) cell group.
+  std::vector<LeaderboardRecord> Select(const std::string& dataset,
+                                        const std::string& task,
+                                        const std::string& setting,
+                                        const std::string& metric) const;
+
+  /// Rank of `model` (1 = best mean) within a cell group; 0 when missing or
+  /// annotated as failed.
+  int Rank(const std::string& model, const std::string& dataset,
+           const std::string& task, const std::string& setting,
+           const std::string& metric) const;
+
+  /// Average rank of a model across the given datasets (the Table 17
+  /// "Average Rank" aggregation). Failed cells count as worst rank.
+  double AverageRank(const std::string& model,
+                     const std::vector<std::string>& datasets,
+                     const std::string& task, const std::string& setting,
+                     const std::string& metric) const;
+
+  /// Paper-style table: one row per dataset, one column per model, with the
+  /// best cell marked "**" and the second-best "_" (the bold-red /
+  /// underlined-blue highlighting). Second best is not marked when it
+  /// trails the best by more than `second_gap` (the paper uses 0.05).
+  std::string FormatTable(const std::vector<std::string>& models,
+                          const std::vector<std::string>& datasets,
+                          const std::string& task, const std::string& setting,
+                          const std::string& metric,
+                          double second_gap = 0.05) const;
+
+  /// Markdown export of every record (the public leaderboard artifact).
+  std::string ToMarkdown() const;
+
+ private:
+  std::vector<LeaderboardRecord> records_;
+
+  const LeaderboardRecord* Find(const std::string& model,
+                                const std::string& dataset,
+                                const std::string& task,
+                                const std::string& setting,
+                                const std::string& metric) const;
+};
+
+}  // namespace benchtemp::core
+
+#endif  // BENCHTEMP_CORE_LEADERBOARD_H_

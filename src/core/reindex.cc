@@ -1,0 +1,90 @@
+#include "core/reindex.h"
+
+#include <algorithm>
+
+namespace benchtemp::core {
+
+namespace {
+
+using graph::Interaction;
+using graph::TemporalGraph;
+
+/// Copies events through `map_src`/`map_dst` and carries edge features over.
+TemporalGraph Remap(const TemporalGraph& graph,
+                    const std::vector<int32_t>& map_src,
+                    const std::vector<int32_t>& map_dst) {
+  TemporalGraph out;
+  out.name = graph.name;
+  for (const Interaction& e : graph.events()) {
+    out.AddInteraction(map_src[static_cast<size_t>(e.src)],
+                       map_dst[static_cast<size_t>(e.dst)], e.ts, e.label);
+  }
+  if (graph.edge_feature_dim() > 0) {
+    out.SetEdgeFeatures(graph.edge_features());
+  }
+  return out;
+}
+
+}  // namespace
+
+ReindexResult ReindexHeterogeneous(const graph::TemporalGraph& graph) {
+  const size_t id_space = static_cast<size_t>(graph.num_nodes());
+  std::vector<int32_t> user_map(id_space, -1);
+  std::vector<int32_t> item_map(id_space, -1);
+  int32_t next_user = 0;
+  for (const Interaction& e : graph.events()) {
+    if (user_map[static_cast<size_t>(e.src)] < 0) {
+      user_map[static_cast<size_t>(e.src)] = next_user++;
+    }
+  }
+  int32_t next_item = next_user;
+  for (const Interaction& e : graph.events()) {
+    if (item_map[static_cast<size_t>(e.dst)] < 0) {
+      item_map[static_cast<size_t>(e.dst)] = next_item++;
+    }
+  }
+  ReindexResult result;
+  result.graph = Remap(graph, user_map, item_map);
+  result.num_users = next_user;
+  // Public mapping favours the user id when an id appears on both sides
+  // (cannot happen for a well-formed bipartite graph).
+  result.mapping.assign(id_space, -1);
+  for (size_t i = 0; i < id_space; ++i) {
+    result.mapping[i] = user_map[i] >= 0 ? user_map[i] : item_map[i];
+  }
+  return result;
+}
+
+ReindexResult ReindexHomogeneous(const graph::TemporalGraph& graph) {
+  const size_t id_space = static_cast<size_t>(graph.num_nodes());
+  std::vector<int32_t> map(id_space, -1);
+  int32_t next = 0;
+  // Concatenate the user and item views: first pass assigns sources in
+  // order of appearance, second pass destinations (Fig. 3b).
+  for (const Interaction& e : graph.events()) {
+    if (map[static_cast<size_t>(e.src)] < 0) {
+      map[static_cast<size_t>(e.src)] = next++;
+    }
+  }
+  for (const Interaction& e : graph.events()) {
+    if (map[static_cast<size_t>(e.dst)] < 0) {
+      map[static_cast<size_t>(e.dst)] = next++;
+    }
+  }
+  ReindexResult result;
+  result.graph = Remap(graph, map, map);
+  result.num_users = next;
+  result.mapping = std::move(map);
+  return result;
+}
+
+ReindexResult BuildBenchmarkDataset(const graph::TemporalGraph& graph,
+                                    bool heterogeneous,
+                                    int64_t feature_dim) {
+  ReindexResult result = heterogeneous ? ReindexHeterogeneous(graph)
+                                       : ReindexHomogeneous(graph);
+  result.graph.InitNodeFeatures(feature_dim);
+  return result;
+}
+
+}  // namespace benchtemp::core

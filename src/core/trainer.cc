@@ -1,0 +1,507 @@
+#include "core/trainer.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "core/early_stop.h"
+#include "core/evaluator.h"
+#include "graph/neighbor_finder.h"
+#include "tensor/optimizer.h"
+
+namespace benchtemp::core {
+
+namespace {
+
+using graph::NeighborFinder;
+using graph::TemporalGraph;
+using models::Batch;
+using models::ModelStatus;
+using models::TgnnModel;
+using tensor::Tensor;
+using tensor::Var;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Destination sampling range: the item block for bipartite graphs, the
+/// full node range otherwise.
+void DstRange(const TemporalGraph& graph, int32_t num_users, int32_t* lo,
+              int32_t* hi) {
+  if (num_users > 0 && num_users < graph.num_nodes()) {
+    *lo = num_users;
+    *hi = graph.num_nodes();
+  } else {
+    *lo = 0;
+    *hi = graph.num_nodes();
+  }
+}
+
+/// Scores one evaluation pass over `events`: positives paired with seeded
+/// negatives; the model's state advances through the stream. Fills
+/// per-event positive/negative scores (indexed by position in `events`).
+void ScorePass(TgnnModel* model, const TemporalGraph& graph,
+               const std::vector<int64_t>& events, int batch_size,
+               EdgeSampler* sampler, std::vector<double>* pos_scores,
+               std::vector<double>* neg_scores) {
+  sampler->Reset();
+  pos_scores->assign(events.size(), 0.0);
+  neg_scores->assign(events.size(), 0.0);
+  size_t cursor = 0;
+  for (const Batch& batch : MakeBatches(graph, events, batch_size)) {
+    const std::vector<int32_t> negatives = sampler->SampleNegatives(batch.srcs);
+    Var pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
+    Var neg = model->ScoreEdges(batch.srcs, negatives, batch.ts);
+    for (int64_t i = 0; i < batch.size(); ++i) {
+      (*pos_scores)[cursor + static_cast<size_t>(i)] =
+          pos->value.at(i);
+      (*neg_scores)[cursor + static_cast<size_t>(i)] =
+          neg->value.at(i);
+    }
+    cursor += static_cast<size_t>(batch.size());
+    model->UpdateState(batch);
+  }
+}
+
+/// AUC/AP over the subset of `events` listed in `subset`.
+SettingMetrics SubsetMetrics(const std::vector<int64_t>& events,
+                             const std::vector<int64_t>& subset,
+                             const std::vector<double>& pos_scores,
+                             const std::vector<double>& neg_scores) {
+  std::unordered_set<int64_t> members(subset.begin(), subset.end());
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (members.count(events[i]) == 0) continue;
+    scores.push_back(pos_scores[i]);
+    labels.push_back(1);
+    scores.push_back(neg_scores[i]);
+    labels.push_back(0);
+  }
+  SettingMetrics metrics;
+  metrics.count = static_cast<int64_t>(subset.size());
+  if (!scores.empty()) {
+    metrics.auc = RocAuc(scores, labels);
+    metrics.ap = AveragePrecision(scores, labels);
+  }
+  return metrics;
+}
+
+/// Replays `events` through the model (state updates only, no scoring).
+void ReplayState(TgnnModel* model, const TemporalGraph& graph,
+                 const std::vector<int64_t>& events, int batch_size) {
+  for (const Batch& batch : MakeBatches(graph, events, batch_size)) {
+    model->UpdateState(batch);
+  }
+}
+
+}  // namespace
+
+double MaxRssGb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+}
+
+std::vector<Batch> MakeBatches(const TemporalGraph& graph,
+                               const std::vector<int64_t>& events,
+                               int batch_size) {
+  std::vector<Batch> batches;
+  Batch current;
+  for (int64_t event_idx : events) {
+    const graph::Interaction& e = graph.event(event_idx);
+    current.srcs.push_back(e.src);
+    current.dsts.push_back(e.dst);
+    current.ts.push_back(e.ts);
+    current.edge_idxs.push_back(e.edge_idx);
+    if (current.size() >= batch_size) {
+      batches.push_back(std::move(current));
+      current = Batch();
+    }
+  }
+  if (current.size() > 0) batches.push_back(std::move(current));
+  return batches;
+}
+
+LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
+  tensor::CheckOrDie(job.graph != nullptr, "RunLinkPrediction: null graph");
+  const TemporalGraph& graph = *job.graph;
+  const TrainConfig& tc = job.train_config;
+  LinkPredictionResult result;
+
+  LinkPredictionSplit split = SplitLinkPrediction(graph, job.split_config);
+  NeighborFinder train_finder(graph, split.train_events);
+  NeighborFinder full_finder(graph);
+
+  int32_t dst_lo = 0, dst_hi = 0;
+  DstRange(graph, job.num_users, &dst_lo, &dst_hi);
+  RandomEdgeSampler train_sampler(dst_lo, dst_hi, tc.seed + 1);
+  auto val_sampler =
+      MakeEdgeSampler(tc.negative_sampling, graph, split.train_events, dst_lo,
+                      dst_hi, tc.seed + 2);
+  auto test_sampler =
+      MakeEdgeSampler(tc.negative_sampling, graph, split.train_events, dst_lo,
+                      dst_hi, tc.seed + 3);
+
+  models::ModelConfig model_config = job.model_config;
+  model_config.seed = tc.seed + 17;
+  auto model =
+      models::CreateModel(job.kind, &graph, model_config, job.num_users);
+  tensor::Adam optimizer(model->Parameters(), tc.learning_rate);
+
+  const std::vector<Batch> train_batches =
+      MakeBatches(graph, split.train_events, tc.batch_size);
+  EarlyStopMonitor monitor(tc.patience, tc.tolerance);
+  const double start = NowSeconds();
+  double total_epoch_seconds = 0.0;
+  int epochs_run = 0;
+  bool hit_budget = false;
+  const int max_epochs = model->trainable() ? tc.max_epochs : 1;
+
+  for (int epoch = 0; epoch < max_epochs; ++epoch) {
+    const double epoch_start = NowSeconds();
+    model->Reset();
+    model->set_training(true);
+    model->SetNeighborFinder(&train_finder);
+    for (const Batch& batch : train_batches) {
+      const std::vector<int32_t> negatives =
+          train_sampler.SampleNegatives(batch.srcs);
+      Var pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
+      Var neg = model->ScoreEdges(batch.srcs, negatives, batch.ts);
+      if (model->status() == ModelStatus::kRuntimeError) {
+        result.status = ModelStatus::kRuntimeError;
+        result.annotation = "*";
+        return result;
+      }
+      if (model->trainable()) {
+        Tensor ones({pos->value.size()});
+        ones.Fill(1.0f);
+        Tensor zeros({neg->value.size()});
+        Var loss = ScalarMul(
+            Add(BceWithLogits(pos, ones), BceWithLogits(neg, zeros)), 0.5f);
+        optimizer.ZeroGrad();
+        Backward(loss);
+        tensor::ClipGradNorm(model->Parameters(), tc.grad_clip_norm);
+        optimizer.Step();
+      }
+      model->UpdateState(batch);
+    }
+    total_epoch_seconds += NowSeconds() - epoch_start;
+    ++epochs_run;
+
+    // Validation: transductive AUC with the full neighbor index and the
+    // state left at the end of the training stream.
+    model->set_training(false);
+    model->SetNeighborFinder(&full_finder);
+    std::vector<double> val_pos, val_neg;
+    ScorePass(model.get(), graph, split.val_events, tc.batch_size,
+              val_sampler.get(), &val_pos, &val_neg);
+    if (model->status() == ModelStatus::kRuntimeError) {
+      result.status = ModelStatus::kRuntimeError;
+      result.annotation = "*";
+      return result;
+    }
+    result.val_transductive =
+        SubsetMetrics(split.val_events, split.val_events, val_pos, val_neg);
+    if (model->trainable() && monitor.Update(result.val_transductive.auc)) {
+      break;
+    }
+    if (tc.time_budget_seconds > 0.0 &&
+        NowSeconds() - start > tc.time_budget_seconds) {
+      hit_budget = true;
+      break;
+    }
+  }
+
+  // Final evaluation: rebuild state over train+val, then one chronological
+  // pass over the whole test window scored under every setting.
+  model->set_training(false);
+  model->SetNeighborFinder(&full_finder);
+  model->Reset();
+  std::vector<int64_t> pre_test_events;
+  pre_test_events.reserve(static_cast<size_t>(split.val_end));
+  for (int64_t i = 0; i < split.val_end; ++i) pre_test_events.push_back(i);
+  ReplayState(model.get(), graph, pre_test_events, tc.batch_size);
+
+  const double inference_start = NowSeconds();
+  std::vector<double> test_pos, test_neg;
+  ScorePass(model.get(), graph, split.test_events, tc.batch_size,
+            test_sampler.get(), &test_pos, &test_neg);
+  const double inference_seconds = NowSeconds() - inference_start;
+  if (model->status() == ModelStatus::kRuntimeError) {
+    result.status = ModelStatus::kRuntimeError;
+    result.annotation = "*";
+    return result;
+  }
+
+  result.test[static_cast<int>(Setting::kTransductive)] = SubsetMetrics(
+      split.test_events, split.test_events, test_pos, test_neg);
+  result.test[static_cast<int>(Setting::kInductive)] = SubsetMetrics(
+      split.test_events, split.test_inductive, test_pos, test_neg);
+  result.test[static_cast<int>(Setting::kInductiveNewOld)] = SubsetMetrics(
+      split.test_events, split.test_new_old, test_pos, test_neg);
+  result.test[static_cast<int>(Setting::kInductiveNewNew)] = SubsetMetrics(
+      split.test_events, split.test_new_new, test_pos, test_neg);
+
+  EfficiencyStats& eff = result.efficiency;
+  eff.epochs_run = epochs_run;
+  eff.best_epoch = monitor.best_epoch();
+  eff.converged = model->trainable()
+                      ? (monitor.rounds_without_improvement() >= tc.patience)
+                      : true;
+  eff.seconds_per_epoch =
+      epochs_run > 0 ? total_epoch_seconds / epochs_run : 0.0;
+  eff.max_rss_gb = MaxRssGb();
+  eff.state_bytes = model->StateBytes();
+  eff.parameter_bytes = model->ParameterBytes();
+  if (eff.seconds_per_epoch > 0.0) {
+    eff.train_events_per_second =
+        static_cast<double>(split.train_events.size()) /
+        eff.seconds_per_epoch;
+  }
+  const int64_t scored = 2 * static_cast<int64_t>(split.test_events.size());
+  if (scored > 0 && inference_seconds > 0.0) {
+    eff.inference_seconds_per_100k =
+        inference_seconds / static_cast<double>(scored) * 1e5;
+  }
+  if (model->trainable() && !eff.converged && hit_budget) {
+    result.annotation = "x";
+  }
+  return result;
+}
+
+NodeClassificationResult RunNodeClassification(
+    const NodeClassificationJob& job) {
+  tensor::CheckOrDie(job.graph != nullptr,
+                     "RunNodeClassification: null graph");
+  const TemporalGraph& graph = *job.graph;
+  const TrainConfig& tc = job.train_config;
+  NodeClassificationResult result;
+  tensor::CheckOrDie(graph.HasLabels(),
+                     "RunNodeClassification: dataset has no labels");
+  const int32_t num_classes = std::max(graph.NumLabelClasses(), 2);
+  const bool binary = num_classes <= 2;
+
+  NodeClassificationSplit split = SplitNodeClassification(graph, job.split_config);
+  NeighborFinder full_finder(graph);
+  int32_t dst_lo = 0, dst_hi = 0;
+  DstRange(graph, job.num_users, &dst_lo, &dst_hi);
+
+  models::ModelConfig model_config = job.model_config;
+  model_config.seed = tc.seed + 17;
+  auto model =
+      models::CreateModel(job.kind, &graph, model_config, job.num_users);
+  tensor::Adam optimizer(model->Parameters(), tc.learning_rate);
+  RandomEdgeSampler train_sampler(dst_lo, dst_hi, tc.seed + 1);
+
+  const std::vector<Batch> train_batches =
+      MakeBatches(graph, split.train_events, tc.batch_size);
+  double pretrain_seconds = 0.0;
+  const int pretrain = model->trainable() ? job.pretrain_epochs : 0;
+  for (int epoch = 0; epoch < pretrain; ++epoch) {
+    const double epoch_start = NowSeconds();
+    model->Reset();
+    model->set_training(true);
+    model->SetNeighborFinder(&full_finder);
+    for (const Batch& batch : train_batches) {
+      const std::vector<int32_t> negatives =
+          train_sampler.SampleNegatives(batch.srcs);
+      Var pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
+      Var neg = model->ScoreEdges(batch.srcs, negatives, batch.ts);
+      if (model->status() == ModelStatus::kRuntimeError) {
+        result.status = ModelStatus::kRuntimeError;
+        result.annotation = "*";
+        return result;
+      }
+      Tensor ones({pos->value.size()});
+      ones.Fill(1.0f);
+      Tensor zeros({neg->value.size()});
+      Var loss = ScalarMul(
+          Add(BceWithLogits(pos, ones), BceWithLogits(neg, zeros)), 0.5f);
+      optimizer.ZeroGrad();
+      Backward(loss);
+      tensor::ClipGradNorm(model->Parameters(), tc.grad_clip_norm);
+      optimizer.Step();
+      model->UpdateState(batch);
+    }
+    pretrain_seconds += NowSeconds() - epoch_start;
+  }
+
+  // Frozen-embedding extraction: one chronological pass over the stream
+  // caching each labeled event's source-node embedding.
+  model->set_training(false);
+  model->SetNeighborFinder(&full_finder);
+  model->Reset();
+  const int64_t d = model->embedding_dim();
+  Tensor features({graph.num_events(), d});
+  std::vector<int32_t> labels(static_cast<size_t>(graph.num_events()), -1);
+  {
+    std::vector<int64_t> all_events(static_cast<size_t>(graph.num_events()));
+    for (int64_t i = 0; i < graph.num_events(); ++i)
+      all_events[static_cast<size_t>(i)] = i;
+    int64_t cursor = 0;
+    for (const Batch& batch : MakeBatches(graph, all_events, tc.batch_size)) {
+      Var emb = model->ComputeEmbeddings(batch.srcs, batch.ts);
+      for (int64_t i = 0; i < batch.size(); ++i) {
+        for (int64_t c = 0; c < d; ++c) {
+          features.at(cursor + i, c) = emb->value.at(i * d + c);
+        }
+        labels[static_cast<size_t>(cursor + i)] =
+            graph.event(cursor + i).label;
+      }
+      cursor += batch.size();
+      model->UpdateState(batch);
+    }
+  }
+
+  // Decoder: 2-layer MLP on the frozen embeddings.
+  tensor::Rng decoder_rng(tc.seed + 71);
+  const int64_t out_dim = binary ? 1 : num_classes;
+  tensor::Mlp decoder({d, std::max<int64_t>(d, 16), out_dim}, decoder_rng);
+  tensor::Adam decoder_opt(decoder.Parameters(), 1e-2f);
+
+  auto gather = [&](const std::vector<int64_t>& events, Tensor* x,
+                    std::vector<int64_t>* y) {
+    std::vector<float> rows;
+    for (int64_t i : events) {
+      if (labels[static_cast<size_t>(i)] < 0) continue;
+      for (int64_t c = 0; c < d; ++c) rows.push_back(features.at(i, c));
+      y->push_back(labels[static_cast<size_t>(i)]);
+    }
+    *x = Tensor::FromVector({static_cast<int64_t>(y->size()), d},
+                            std::move(rows));
+  };
+  Tensor x_train, x_val, x_test;
+  std::vector<int64_t> y_train, y_val, y_test;
+  gather(split.train_events, &x_train, &y_train);
+  gather(split.val_events, &x_val, &y_val);
+  gather(split.test_events, &x_test, &y_test);
+
+  auto scores_of = [&](const Tensor& x) {
+    Var logits = decoder.Forward(tensor::Constant(x));
+    return logits;
+  };
+  auto binary_auc = [&](const Tensor& x, const std::vector<int64_t>& y) {
+    Var logits = scores_of(x);
+    std::vector<double> scores;
+    std::vector<int> lab;
+    for (size_t i = 0; i < y.size(); ++i) {
+      scores.push_back(logits->value.at(static_cast<int64_t>(i)));
+      lab.push_back(y[i] == 1 ? 1 : 0);
+    }
+    return RocAuc(scores, lab);
+  };
+
+  // The decoder is cheap, so it gets a more patient monitor than the
+  // expensive TGNN training loop.
+  EarlyStopMonitor monitor(std::max(tc.patience, 8), tc.tolerance);
+  double decoder_seconds = 0.0;
+  int decoder_epochs_run = 0;
+  for (int epoch = 0; epoch < job.decoder_epochs; ++epoch) {
+    const double epoch_start = NowSeconds();
+    Var logits = decoder.Forward(tensor::Constant(x_train));
+    Var loss;
+    if (binary) {
+      Tensor targets({static_cast<int64_t>(y_train.size())});
+      for (size_t i = 0; i < y_train.size(); ++i) {
+        targets.at(static_cast<int64_t>(i)) = y_train[i] == 1 ? 1.0f : 0.0f;
+      }
+      loss = BceWithLogits(logits, targets);
+    } else {
+      loss = SoftmaxCrossEntropy(logits, y_train);
+    }
+    decoder_opt.ZeroGrad();
+    Backward(loss);
+    decoder_opt.Step();
+    decoder_seconds += NowSeconds() - epoch_start;
+    ++decoder_epochs_run;
+    const double val_metric =
+        binary ? binary_auc(x_val, y_val) : [&] {
+          Var val_logits = scores_of(x_val);
+          std::vector<int> pred, actual;
+          for (size_t i = 0; i < y_val.size(); ++i) {
+            int best = 0;
+            for (int c = 1; c < num_classes; ++c) {
+              if (val_logits->value.at(static_cast<int64_t>(i), c) >
+                  val_logits->value.at(static_cast<int64_t>(i), best)) {
+                best = c;
+              }
+            }
+            pred.push_back(best);
+            actual.push_back(static_cast<int>(y_val[i]));
+          }
+          return Accuracy(pred, actual);
+        }();
+    if (monitor.Update(val_metric)) break;
+  }
+
+  // Test metrics.
+  if (binary) {
+    result.test_auc = binary_auc(x_test, y_test);
+    Var logits = scores_of(x_test);
+    std::vector<int> pred, actual;
+    for (size_t i = 0; i < y_test.size(); ++i) {
+      pred.push_back(logits->value.at(static_cast<int64_t>(i)) > 0.0f ? 1
+                                                                      : 0);
+      actual.push_back(static_cast<int>(y_test[i]));
+    }
+    result.accuracy = Accuracy(pred, actual);
+    const WeightedPrf prf = WeightedPrecisionRecallF1(pred, actual, 2);
+    result.precision_weighted = prf.precision;
+    result.recall_weighted = prf.recall;
+    result.f1_weighted = prf.f1;
+  } else {
+    Var logits = scores_of(x_test);
+    std::vector<int> pred, actual;
+    for (size_t i = 0; i < y_test.size(); ++i) {
+      int best = 0;
+      for (int c = 1; c < num_classes; ++c) {
+        if (logits->value.at(static_cast<int64_t>(i), c) >
+            logits->value.at(static_cast<int64_t>(i), best)) {
+          best = c;
+        }
+      }
+      pred.push_back(best);
+      actual.push_back(static_cast<int>(y_test[i]));
+    }
+    result.accuracy = Accuracy(pred, actual);
+    const WeightedPrf prf =
+        WeightedPrecisionRecallF1(pred, actual, num_classes);
+    result.precision_weighted = prf.precision;
+    result.recall_weighted = prf.recall;
+    result.f1_weighted = prf.f1;
+    // One-vs-rest AUC of the positive (fraud) class for comparability.
+    std::vector<double> scores;
+    std::vector<int> lab;
+    for (size_t i = 0; i < y_test.size(); ++i) {
+      scores.push_back(logits->value.at(static_cast<int64_t>(i), 1));
+      lab.push_back(y_test[i] == 1 ? 1 : 0);
+    }
+    result.test_auc = RocAuc(scores, lab);
+  }
+
+  EfficiencyStats& eff = result.efficiency;
+  eff.epochs_run = decoder_epochs_run;
+  eff.best_epoch = monitor.best_epoch();
+  eff.converged = monitor.rounds_without_improvement() >= tc.patience;
+  const int denom = pretrain + decoder_epochs_run;
+  eff.seconds_per_epoch =
+      denom > 0 ? (pretrain_seconds + decoder_seconds) / denom : 0.0;
+  eff.max_rss_gb = MaxRssGb();
+  eff.state_bytes = model->StateBytes();
+  eff.parameter_bytes = model->ParameterBytes();
+  if (pretrain_seconds > 0.0 && pretrain > 0) {
+    eff.train_events_per_second =
+        static_cast<double>(split.train_events.size()) /
+        (pretrain_seconds / pretrain);
+  }
+  return result;
+}
+
+}  // namespace benchtemp::core

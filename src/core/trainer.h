@@ -1,0 +1,132 @@
+#ifndef BENCHTEMP_CORE_TRAINER_H_
+#define BENCHTEMP_CORE_TRAINER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/data_loader.h"
+#include "core/edge_sampler.h"
+#include "graph/temporal_graph.h"
+#include "models/factory.h"
+#include "models/model.h"
+
+namespace benchtemp::core {
+
+/// Training-loop configuration (Section 4.1 Protocol: BCE loss, Adam with
+/// lr 1e-4, EarlyStopMonitor with patience 3 / tolerance 1e-3, timeout).
+struct TrainConfig {
+  int max_epochs = 12;
+  int batch_size = 200;
+  float learning_rate = 1e-4f;
+  int patience = 3;
+  double tolerance = 1e-3;
+  NegativeSampling negative_sampling = NegativeSampling::kRandom;
+  uint64_t seed = 0;
+  /// Wall-clock budget for the whole job; 0 = unlimited. A job cut off by
+  /// the budget without having converged is annotated "x" (the paper's
+  /// cannot-converge marker) in the Epoch column.
+  double time_budget_seconds = 0.0;
+  float grad_clip_norm = 5.0f;
+};
+
+/// Efficiency measurements — the CPU stand-ins for the paper's Table 4/12
+/// columns (see DESIGN.md substitution 1):
+///   Runtime  -> seconds_per_epoch (same meaning),
+///   Epoch    -> epochs to convergence / "x",
+///   RAM      -> process max RSS,
+///   GPU Mem  -> model state + parameter bytes,
+///   GPU Util -> training throughput (events/second).
+struct EfficiencyStats {
+  double seconds_per_epoch = 0.0;
+  int epochs_run = 0;
+  int best_epoch = -1;
+  bool converged = false;
+  double max_rss_gb = 0.0;
+  int64_t state_bytes = 0;
+  int64_t parameter_bytes = 0;
+  double train_events_per_second = 0.0;
+  double inference_seconds_per_100k = 0.0;
+};
+
+/// Metrics of one evaluation setting.
+struct SettingMetrics {
+  double auc = 0.5;
+  double ap = 0.5;
+  int64_t count = 0;
+};
+
+/// Result of one link-prediction job (one model x one dataset).
+struct LinkPredictionResult {
+  models::ModelStatus status = models::ModelStatus::kOk;
+  /// "" ok; "*" runtime error (paper Table 3); "x" no convergence.
+  std::string annotation;
+  /// Indexed by static_cast<int>(Setting).
+  std::array<SettingMetrics, 4> test;
+  SettingMetrics val_transductive;
+  EfficiencyStats efficiency;
+};
+
+/// One link-prediction job description.
+struct LinkPredictionJob {
+  const graph::TemporalGraph* graph = nullptr;
+  /// Number of user (source-side) nodes for bipartite graphs; 0 for
+  /// homogeneous. Controls the negative-sampling destination range and
+  /// JODIE's RNN routing.
+  int32_t num_users = 0;
+  models::ModelKind kind = models::ModelKind::kTgn;
+  models::ModelConfig model_config;
+  TrainConfig train_config;
+  SplitConfig split_config;
+};
+
+/// Runs the full link-prediction pipeline: DataLoader split, seeded
+/// EdgeSampler, training with early stopping, a state-replay pass, and one
+/// chronological test pass scored under all four settings.
+LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job);
+
+/// Result of one node-classification job.
+struct NodeClassificationResult {
+  models::ModelStatus status = models::ModelStatus::kOk;
+  std::string annotation;
+  /// Binary task (positive class = 1).
+  double test_auc = 0.5;
+  /// Multi-class task (Appendix G metrics); also filled for binary.
+  double accuracy = 0.0;
+  double precision_weighted = 0.0;
+  double recall_weighted = 0.0;
+  double f1_weighted = 0.0;
+  EfficiencyStats efficiency;
+};
+
+struct NodeClassificationJob {
+  const graph::TemporalGraph* graph = nullptr;
+  int32_t num_users = 0;
+  models::ModelKind kind = models::ModelKind::kTgn;
+  models::ModelConfig model_config;
+  TrainConfig train_config;
+  SplitConfig split_config;
+  /// Epochs of self-supervised link-prediction pre-training before the
+  /// decoder is fitted on frozen embeddings.
+  int pretrain_epochs = 3;
+  int decoder_epochs = 80;
+};
+
+/// Runs the node-classification pipeline (Section 3.2.2): LP pre-training,
+/// frozen-embedding extraction over the stream, then a 2-layer MLP decoder
+/// trained on the train window and early-stopped on validation AUC.
+NodeClassificationResult RunNodeClassification(
+    const NodeClassificationJob& job);
+
+/// Current process peak RSS in GB (Linux VmHWM).
+double MaxRssGb();
+
+/// Splits `events` into chronological batches of `batch_size` positives.
+std::vector<models::Batch> MakeBatches(const graph::TemporalGraph& graph,
+                                       const std::vector<int64_t>& events,
+                                       int batch_size);
+
+}  // namespace benchtemp::core
+
+#endif  // BENCHTEMP_CORE_TRAINER_H_

@@ -1,0 +1,69 @@
+#include "datagen/csv.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace benchtemp::datagen {
+
+bool SaveCsv(const graph::TemporalGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const int64_t edge_dim = graph.edge_feature_dim();
+  out << "src,dst,ts,label";
+  for (int64_t c = 0; c < edge_dim; ++c) out << ",f" << c;
+  out << "\n";
+  for (int64_t i = 0; i < graph.num_events(); ++i) {
+    const graph::Interaction& e = graph.event(i);
+    out << e.src << "," << e.dst << "," << e.ts << "," << e.label;
+    for (int64_t c = 0; c < edge_dim; ++c) {
+      out << "," << graph.edge_features().at(e.edge_idx, c);
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadCsv(const std::string& path, graph::TemporalGraph* graph) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  // Count feature columns from the header.
+  int64_t edge_dim = 0;
+  {
+    std::stringstream header(line);
+    std::string field;
+    int64_t columns = 0;
+    while (std::getline(header, field, ',')) ++columns;
+    if (columns < 4) return false;
+    edge_dim = columns - 4;
+  }
+  std::vector<float> feature_rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (static_cast<int64_t>(fields.size()) != 4 + edge_dim) return false;
+    const int32_t src = static_cast<int32_t>(std::stol(fields[0]));
+    const int32_t dst = static_cast<int32_t>(std::stol(fields[1]));
+    const double ts = std::stod(fields[2]);
+    const int32_t label = static_cast<int32_t>(std::stol(fields[3]));
+    graph->AddInteraction(src, dst, ts, label);
+    for (int64_t c = 0; c < edge_dim; ++c) {
+      feature_rows.push_back(std::stof(fields[static_cast<size_t>(4 + c)]));
+    }
+  }
+  if (edge_dim > 0) {
+    graph->SetEdgeFeatures(tensor::Tensor::FromVector(
+        {graph->num_events(), edge_dim}, std::move(feature_rows)));
+  }
+  graph->SortByTime();
+  return true;
+}
+
+}  // namespace benchtemp::datagen

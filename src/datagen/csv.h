@@ -1,0 +1,23 @@
+#ifndef BENCHTEMP_DATAGEN_CSV_H_
+#define BENCHTEMP_DATAGEN_CSV_H_
+
+#include <string>
+
+#include "graph/temporal_graph.h"
+
+namespace benchtemp::datagen {
+
+/// Writes the interaction stream as CSV: header `src,dst,ts,label` followed
+/// by one row per event, plus edge feature columns `f0..f{d-1}` when the
+/// graph has edge features. Returns false on I/O failure.
+bool SaveCsv(const graph::TemporalGraph& graph, const std::string& path);
+
+/// Loads an interaction stream produced by SaveCsv (or a user-supplied CSV
+/// with the same header). The Dataset module of the pipeline accepts graphs
+/// from this loader, mirroring BenchTemp's support for user-generated
+/// benchmark datasets. Returns false on parse or I/O failure.
+bool LoadCsv(const std::string& path, graph::TemporalGraph* graph);
+
+}  // namespace benchtemp::datagen
+
+#endif  // BENCHTEMP_DATAGEN_CSV_H_

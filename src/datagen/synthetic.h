@@ -1,0 +1,69 @@
+#ifndef BENCHTEMP_DATAGEN_SYNTHETIC_H_
+#define BENCHTEMP_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/temporal_graph.h"
+
+namespace benchtemp::datagen {
+
+/// Configuration of the synthetic interaction-stream generator.
+///
+/// The generator is the repo's stand-in for the paper's 21 public datasets
+/// (see DESIGN.md, substitution 2). Each knob maps to a dataset property the
+/// paper's analysis depends on:
+///   * bipartite vs. homogeneous topology (heterogeneous/homogeneous column
+///     of Table 2),
+///   * Zipf degree skew (average degree / density columns),
+///   * `time_granularity` (the CanParl-vs-USLegis "large time granularity"
+///     analysis in Appendix H),
+///   * `edge_reuse_prob` (how often past edges repeat; drives memorization
+///     behaviour and the historical-negative-sampling study of Appendix J),
+///   * `affinity` (latent community structure; drives how much the
+///     walk/structure models can exploit topology),
+///   * label knobs (node-classification datasets have rare dynamic labels).
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  /// Bipartite when num_items > 0: sources in [0, num_users), destinations
+  /// in [num_users, num_users + num_items). Homogeneous when num_items == 0:
+  /// both endpoints in [0, num_users).
+  int32_t num_users = 100;
+  int32_t num_items = 0;
+  int64_t num_edges = 1000;
+  /// Zipf exponents for source / destination popularity (0 = uniform).
+  double zipf_src = 1.1;
+  double zipf_dst = 1.1;
+  /// Number of distinct timestamp ticks over the stream; small values give
+  /// the coarse yearly granularity of CanParl/UNTrade/USLegis/UNVote.
+  int64_t time_granularity = 1000;
+  /// Total time span of the stream.
+  double time_span = 1000.0;
+  /// Probability that an event repeats a previously observed (u, v) pair
+  /// (drawn recency-weighted from the most recent window).
+  double edge_reuse_prob = 0.5;
+  /// Strength of latent community structure in destination choice, in
+  /// [0, 1]. 0 = destinations are pure popularity draws.
+  double affinity = 0.5;
+  /// Number of latent communities.
+  int32_t num_communities = 8;
+  /// Edge feature dimensionality (Table 8's per-dataset d_e).
+  int64_t edge_feature_dim = 4;
+  /// Noise stddev added to the community-signature edge features.
+  float feature_noise = 0.5f;
+  /// Number of label classes: 0 = unlabeled dataset, 2 = binary dynamic
+  /// labels (Reddit/Wikipedia/MOOC-style bans), 4 = DGraphFin-style classes.
+  int32_t label_classes = 0;
+  /// Fraction of source nodes that eventually turn positive (class 1).
+  double label_positive_rate = 0.05;
+  uint64_t seed = 7;
+};
+
+/// Generates a chronologically sorted temporal graph from `config`.
+/// Node features are left unallocated; the benchmark-construction step
+/// (core/reindex.h) initializes them at the standardized dimension.
+graph::TemporalGraph Generate(const SyntheticConfig& config);
+
+}  // namespace benchtemp::datagen
+
+#endif  // BENCHTEMP_DATAGEN_SYNTHETIC_H_

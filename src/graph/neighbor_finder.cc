@@ -1,0 +1,87 @@
+#include "graph/neighbor_finder.h"
+
+#include <algorithm>
+
+namespace benchtemp::graph {
+
+NeighborFinder::NeighborFinder(const TemporalGraph& graph, int64_t limit) {
+  adjacency_.resize(static_cast<size_t>(graph.num_nodes()));
+  const int64_t n =
+      limit < 0 ? graph.num_events() : std::min(limit, graph.num_events());
+  for (int64_t i = 0; i < n; ++i) {
+    const Interaction& e = graph.event(i);
+    adjacency_[static_cast<size_t>(e.src)].push_back(
+        {e.dst, e.edge_idx, e.ts});
+    adjacency_[static_cast<size_t>(e.dst)].push_back(
+        {e.src, e.edge_idx, e.ts});
+  }
+  for (auto& list : adjacency_) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const TemporalNeighbor& a, const TemporalNeighbor& b) {
+                       return a.ts < b.ts;
+                     });
+  }
+}
+
+NeighborFinder::NeighborFinder(const TemporalGraph& graph,
+                               const std::vector<int64_t>& events) {
+  adjacency_.resize(static_cast<size_t>(graph.num_nodes()));
+  for (int64_t i : events) {
+    const Interaction& e = graph.event(i);
+    adjacency_[static_cast<size_t>(e.src)].push_back(
+        {e.dst, e.edge_idx, e.ts});
+    adjacency_[static_cast<size_t>(e.dst)].push_back(
+        {e.src, e.edge_idx, e.ts});
+  }
+  for (auto& list : adjacency_) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const TemporalNeighbor& a, const TemporalNeighbor& b) {
+                       return a.ts < b.ts;
+                     });
+  }
+}
+
+const TemporalNeighbor* NeighborFinder::Before(int32_t node, double ts,
+                                               int64_t* count) const {
+  *count = 0;
+  if (node < 0 || node >= num_nodes()) return nullptr;
+  const auto& list = adjacency_[static_cast<size_t>(node)];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), ts,
+      [](const TemporalNeighbor& n, double t) { return n.ts < t; });
+  *count = static_cast<int64_t>(it - list.begin());
+  return *count > 0 ? list.data() : nullptr;
+}
+
+std::vector<TemporalNeighbor> NeighborFinder::SampleUniform(
+    int32_t node, double ts, int64_t k, tensor::Rng& rng) const {
+  int64_t count = 0;
+  const TemporalNeighbor* history = Before(node, ts, &count);
+  std::vector<TemporalNeighbor> out;
+  if (count == 0) return out;
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    out.push_back(history[rng.UniformInt(count)]);
+  }
+  return out;
+}
+
+std::vector<TemporalNeighbor> NeighborFinder::MostRecent(int32_t node,
+                                                         double ts,
+                                                         int64_t k) const {
+  int64_t count = 0;
+  const TemporalNeighbor* history = Before(node, ts, &count);
+  std::vector<TemporalNeighbor> out;
+  const int64_t take = std::min(k, count);
+  out.reserve(static_cast<size_t>(take));
+  for (int64_t i = count - take; i < count; ++i) out.push_back(history[i]);
+  return out;
+}
+
+int64_t NeighborFinder::DegreeBefore(int32_t node, double ts) const {
+  int64_t count = 0;
+  Before(node, ts, &count);
+  return count;
+}
+
+}  // namespace benchtemp::graph

@@ -1,0 +1,69 @@
+#ifndef BENCHTEMP_GRAPH_NEIGHBOR_FINDER_H_
+#define BENCHTEMP_GRAPH_NEIGHBOR_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "tensor/random.h"
+
+namespace benchtemp::graph {
+
+/// One temporal adjacency record: node `u` interacted with `neighbor` at
+/// `ts` via event `edge_idx`.
+struct TemporalNeighbor {
+  int32_t neighbor = 0;
+  int32_t edge_idx = 0;
+  double ts = 0.0;
+};
+
+/// Index over a set of interactions answering "which neighbors did node u
+/// interact with strictly before time t?" — the core query behind every
+/// TGNN's message passing and walk sampling.
+///
+/// Per-node adjacency lists are kept sorted by timestamp so before-time
+/// queries are a binary search (O(log d)) plus O(k) sampling.
+class NeighborFinder {
+ public:
+  /// Indexes events [0, limit) of `graph`; `limit` < 0 indexes everything.
+  /// Edges are treated as undirected for adjacency (both endpoints see the
+  /// interaction), matching the reference TGNN implementations.
+  explicit NeighborFinder(const TemporalGraph& graph, int64_t limit = -1);
+
+  /// Indexes only the given event subset (e.g. the masked training stream
+  /// used for inductive jobs).
+  NeighborFinder(const TemporalGraph& graph,
+                 const std::vector<int64_t>& events);
+
+  /// All interactions of `node` strictly before `ts`, oldest first.
+  /// The returned pointers index into internal storage; `count` receives the
+  /// prefix length. Returns nullptr when there are none.
+  const TemporalNeighbor* Before(int32_t node, double ts,
+                                 int64_t* count) const;
+
+  /// Samples up to `k` neighbors of `node` before `ts` uniformly with
+  /// replacement. Returns fewer entries (possibly zero) only when the node
+  /// has no history.
+  std::vector<TemporalNeighbor> SampleUniform(int32_t node, double ts,
+                                              int64_t k,
+                                              tensor::Rng& rng) const;
+
+  /// The `k` most recent neighbors of `node` before `ts` (padded order:
+  /// most recent last). May return fewer than `k`.
+  std::vector<TemporalNeighbor> MostRecent(int32_t node, double ts,
+                                           int64_t k) const;
+
+  /// Number of interactions of `node` before `ts`.
+  int64_t DegreeBefore(int32_t node, double ts) const;
+
+  int32_t num_nodes() const {
+    return static_cast<int32_t>(adjacency_.size());
+  }
+
+ private:
+  std::vector<std::vector<TemporalNeighbor>> adjacency_;
+};
+
+}  // namespace benchtemp::graph
+
+#endif  // BENCHTEMP_GRAPH_NEIGHBOR_FINDER_H_

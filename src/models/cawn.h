@@ -1,0 +1,24 @@
+#ifndef BENCHTEMP_MODELS_CAWN_H_
+#define BENCHTEMP_MODELS_CAWN_H_
+
+#include <string>
+
+#include "models/walk_base.h"
+
+namespace benchtemp::models {
+
+/// CAWN (Wang et al., ICLR 2021): causal anonymous walks. Temporal walks
+/// are sampled backward in time with an exponential recency bias, node
+/// identities are replaced by set-based positional counts relative to both
+/// endpoints' walk sets, and the anonymized walks are encoded by an RNN and
+/// mean-pooled into an edge representation.
+class Cawn : public WalkModel {
+ public:
+  Cawn(const graph::TemporalGraph* graph, ModelConfig config);
+
+  std::string name() const override { return "CAWN"; }
+};
+
+}  // namespace benchtemp::models
+
+#endif  // BENCHTEMP_MODELS_CAWN_H_

@@ -1,0 +1,93 @@
+#include "models/dyrep.h"
+
+namespace benchtemp::models {
+
+using graph::TemporalNeighbor;
+using tensor::ConcatCols;
+using tensor::ConcatRows;
+using tensor::Constant;
+using tensor::Tensor;
+using tensor::Var;
+
+DyRep::DyRep(const graph::TemporalGraph* graph, ModelConfig config)
+    : MemoryModel(graph, config),
+      rnn_(2 * config_.embedding_dim + graph->edge_feature_dim() +
+               config_.time_dim,
+           config_.embedding_dim, rng_),
+      neighbor_attention_(config_.embedding_dim,
+                          config_.embedding_dim + config_.time_dim,
+                          config_.embedding_dim, 1, rng_),
+      identity_(config_.embedding_dim, config_.embedding_dim, rng_) {
+  InitPredictor(config_.embedding_dim, config_.embedding_dim, rng_);
+}
+
+Var DyRep::AggregateNeighborhood(const std::vector<MemoryEvent>& events) {
+  const int64_t n = static_cast<int64_t>(events.size());
+  const int64_t k = config_.num_neighbors;
+  const int64_t d = config_.embedding_dim;
+  tensor::CheckOrDie(finder_ != nullptr, "DyRep: neighbor finder not set");
+
+  std::vector<int32_t> flat_neighbors(static_cast<size_t>(n * k), 0);
+  std::vector<float> flat_dts(static_cast<size_t>(n * k), 0.0f);
+  Tensor mask({n, k});
+  for (int64_t i = 0; i < n; ++i) {
+    const MemoryEvent& e = events[static_cast<size_t>(i)];
+    const auto sampled =
+        finder_->SampleUniform(e.other, e.ts, k, rng_);
+    for (size_t j = 0; j < sampled.size(); ++j) {
+      const TemporalNeighbor& nbr = sampled[j];
+      flat_neighbors[static_cast<size_t>(i * k) + j] = nbr.neighbor;
+      flat_dts[static_cast<size_t>(i * k) + j] =
+          static_cast<float>(e.ts - nbr.ts);
+      mask.at(i, static_cast<int64_t>(j)) = 1.0f;
+    }
+  }
+  // Keys/values: neighbor memory ‖ time encoding of the recency gap.
+  Tensor nbr_memory({n * k, d});
+  for (int64_t r = 0; r < n * k; ++r) {
+    const int32_t node = flat_neighbors[static_cast<size_t>(r)];
+    for (int64_t c = 0; c < d; ++c) nbr_memory.at(r, c) = memory().at(node, c);
+  }
+  Var keys = ConcatCols(
+      {Constant(std::move(nbr_memory)), time_encoder_.Encode(flat_dts)});
+  std::vector<int32_t> others;
+  others.reserve(events.size());
+  for (const MemoryEvent& e : events) others.push_back(e.other);
+  Var queries = GatherMemory(others);
+  return neighbor_attention_.Forward(queries, keys, keys, mask, k);
+}
+
+Var DyRep::ComputeMemoryUpdate(const std::vector<MemoryEvent>& events,
+                               const tensor::Var& prev_memory) {
+  // DyRep message: [attn(neighborhood of other) ; mem(other) ; edge ; dt].
+  Var aggregated = AggregateNeighborhood(events);
+  std::vector<int32_t> others, edge_idxs;
+  std::vector<float> dts;
+  for (const MemoryEvent& e : events) {
+    others.push_back(e.other);
+    edge_idxs.push_back(e.edge_idx);
+    dts.push_back(static_cast<float>(e.ts - LastUpdate(e.node)));
+  }
+  Var message =
+      ConcatCols({aggregated, GatherMemory(others),
+                  EdgeFeatureBlock(edge_idxs), time_encoder_.Encode(dts)});
+  return rnn_.Forward(message, prev_memory);
+}
+
+Var DyRep::ComputeEmbeddings(const std::vector<int32_t>& nodes,
+                             const std::vector<double>& ts) {
+  ProcessPending();
+  (void)ts;
+  // DyRep reads the memory directly ("identity" embedding) through a linear
+  // head.
+  return identity_.Forward(GatherMemory(nodes));
+}
+
+std::vector<Var> DyRep::UpdaterParameters() const {
+  std::vector<Var> params = rnn_.Parameters();
+  for (const Var& p : neighbor_attention_.Parameters()) params.push_back(p);
+  for (const Var& p : identity_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace benchtemp::models

@@ -1,0 +1,92 @@
+#include "models/factory.h"
+
+#include "models/cawn.h"
+#include "models/dyrep.h"
+#include "models/edgebank.h"
+#include "models/jodie.h"
+#include "models/motif_joint.h"
+#include "models/nat.h"
+#include "models/neurtw.h"
+#include "models/temp_model.h"
+#include "models/tgat.h"
+#include "models/tgn.h"
+
+namespace benchtemp::models {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kJodie:
+      return "JODIE";
+    case ModelKind::kDyRep:
+      return "DyRep";
+    case ModelKind::kTgn:
+      return "TGN";
+    case ModelKind::kTgat:
+      return "TGAT";
+    case ModelKind::kCawn:
+      return "CAWN";
+    case ModelKind::kNeurTw:
+      return "NeurTW";
+    case ModelKind::kNat:
+      return "NAT";
+    case ModelKind::kTemp:
+      return "TeMP";
+    case ModelKind::kEdgeBank:
+      return "EdgeBank";
+    case ModelKind::kMotifJoint:
+      return "MotifJoint";
+  }
+  return "?";
+}
+
+const std::vector<ModelKind>& PaperModels() {
+  static const std::vector<ModelKind>& models = *new std::vector<ModelKind>{
+      ModelKind::kJodie, ModelKind::kDyRep, ModelKind::kTgn,
+      ModelKind::kTgat,  ModelKind::kCawn,  ModelKind::kNeurTw,
+      ModelKind::kNat,
+  };
+  return models;
+}
+
+std::unique_ptr<TgnnModel> CreateModel(ModelKind kind,
+                                       const graph::TemporalGraph* graph,
+                                       const ModelConfig& config,
+                                       int32_t num_users) {
+  switch (kind) {
+    case ModelKind::kJodie:
+      return std::make_unique<Jodie>(graph, config, num_users);
+    case ModelKind::kDyRep:
+      return std::make_unique<DyRep>(graph, config);
+    case ModelKind::kTgn:
+      return std::make_unique<Tgn>(graph, config);
+    case ModelKind::kTgat:
+      return std::make_unique<Tgat>(graph, config);
+    case ModelKind::kCawn:
+      return std::make_unique<Cawn>(graph, config);
+    case ModelKind::kNeurTw:
+      return std::make_unique<NeurTw>(graph, config);
+    case ModelKind::kNat:
+      return std::make_unique<Nat>(graph, config);
+    case ModelKind::kTemp:
+      return std::make_unique<TempModel>(graph, config);
+    case ModelKind::kEdgeBank:
+      return std::make_unique<EdgeBank>(graph, config);
+    case ModelKind::kMotifJoint:
+      return std::make_unique<MotifJoint>(graph, config);
+  }
+  return nullptr;
+}
+
+ModelKind ModelKindFromName(const std::string& name) {
+  for (ModelKind kind :
+       {ModelKind::kJodie, ModelKind::kDyRep, ModelKind::kTgn,
+        ModelKind::kTgat, ModelKind::kCawn, ModelKind::kNeurTw,
+        ModelKind::kNat, ModelKind::kTemp, ModelKind::kEdgeBank,
+        ModelKind::kMotifJoint}) {
+    if (name == ModelKindName(kind)) return kind;
+  }
+  tensor::CheckOrDie(false, "ModelKindFromName: unknown model name");
+  return ModelKind::kJodie;
+}
+
+}  // namespace benchtemp::models

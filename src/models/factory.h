@@ -1,0 +1,46 @@
+#ifndef BENCHTEMP_MODELS_FACTORY_H_
+#define BENCHTEMP_MODELS_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace benchtemp::models {
+
+/// The seven TGNN models of the paper's study, in table order, plus the
+/// paper's own TeMP and the EdgeBank heuristic baseline.
+enum class ModelKind {
+  kJodie,
+  kDyRep,
+  kTgn,
+  kTgat,
+  kCawn,
+  kNeurTw,
+  kNat,
+  kTemp,
+  kEdgeBank,
+  /// The Section 4.4 future-work hybrid (motifs + joint-neighborhood).
+  kMotifJoint,
+};
+
+/// "JODIE", "DyRep", ... (the names used in the paper's tables).
+const char* ModelKindName(ModelKind kind);
+
+/// The seven models compared in Tables 3-5.
+const std::vector<ModelKind>& PaperModels();
+
+/// Instantiates a model over `graph`. `num_users` (> 0 for bipartite
+/// graphs) routes JODIE's two-RNN update; other models ignore it.
+std::unique_ptr<TgnnModel> CreateModel(ModelKind kind,
+                                       const graph::TemporalGraph* graph,
+                                       const ModelConfig& config,
+                                       int32_t num_users = 0);
+
+/// Lookup by paper name; aborts on unknown names.
+ModelKind ModelKindFromName(const std::string& name);
+
+}  // namespace benchtemp::models
+
+#endif  // BENCHTEMP_MODELS_FACTORY_H_

@@ -1,0 +1,65 @@
+#include "models/jodie.h"
+
+namespace benchtemp::models {
+
+using tensor::Tensor;
+using tensor::Var;
+
+Jodie::Jodie(const graph::TemporalGraph* graph, ModelConfig config,
+             int32_t num_users)
+    : MemoryModel(graph, config),
+      num_users_(num_users),
+      user_rnn_(MessageDim(), config_.embedding_dim, rng_),
+      item_rnn_(MessageDim(), config_.embedding_dim, rng_),
+      projection_(tensor::Parameter(
+          Tensor::Full({1, config_.embedding_dim}, 0.01f))),
+      output_(config_.embedding_dim, config_.embedding_dim, rng_) {
+  InitPredictor(config_.embedding_dim, config_.embedding_dim, rng_);
+}
+
+Var Jodie::ComputeMemoryUpdate(const std::vector<MemoryEvent>& events,
+                               const tensor::Var& prev_memory) {
+  Var messages = BuildMessages(events);
+  // Two RNN paths: route each event through the user or item RNN depending
+  // on which side of the bipartite split the node lives on, then select
+  // rows with a 0/1 mask (both paths run batched; the mask picks one).
+  Var user_update = user_rnn_.Forward(messages, prev_memory);
+  if (num_users_ <= 0) return user_update;
+  Var item_update = item_rnn_.Forward(messages, prev_memory);
+  Tensor is_user({static_cast<int64_t>(events.size()), 1});
+  for (size_t i = 0; i < events.size(); ++i) {
+    is_user.at(static_cast<int64_t>(i)) =
+        events[i].node < num_users_ ? 1.0f : 0.0f;
+  }
+  Var mask = tensor::Constant(std::move(is_user));
+  Var inv_mask = ScalarAdd(ScalarMul(mask, -1.0f), 1.0f);
+  return Add(Mul(user_update, mask), Mul(item_update, inv_mask));
+}
+
+Var Jodie::ComputeEmbeddings(const std::vector<int32_t>& nodes,
+                             const std::vector<double>& ts) {
+  ProcessPending();
+  Var memory = GatherMemory(nodes);
+  // Projection: e = (1 + dt * w) ⊙ m. dt is normalized by the graph's mean
+  // inter-event gap so the drift magnitude is scale-free.
+  const double span = graph_->num_events() > 0
+                          ? graph_->event(graph_->num_events() - 1).ts -
+                                graph_->event(0).ts
+                          : 1.0;
+  const double mean_gap =
+      span > 0.0 ? span / static_cast<double>(graph_->num_events()) : 1.0;
+  Var dt = DeltaTimeColumn(nodes, ts);
+  Var dt_scaled = ScalarMul(dt, static_cast<float>(1.0 / (mean_gap * 100.0)));
+  Var drift = ScalarAdd(MatMul(dt_scaled, projection_), 1.0f);
+  return output_.Forward(Mul(memory, drift));
+}
+
+std::vector<Var> Jodie::UpdaterParameters() const {
+  std::vector<Var> params = user_rnn_.Parameters();
+  for (const Var& p : item_rnn_.Parameters()) params.push_back(p);
+  params.push_back(projection_);
+  for (const Var& p : output_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace benchtemp::models

@@ -1,0 +1,52 @@
+#include "models/model.h"
+
+namespace benchtemp::models {
+
+using tensor::Tensor;
+using tensor::Var;
+
+TgnnModel::TgnnModel(const graph::TemporalGraph* graph, ModelConfig config)
+    : graph_(graph), config_(config), rng_(config.seed) {
+  tensor::CheckOrDie(graph != nullptr, "TgnnModel: null graph");
+}
+
+void TgnnModel::InitPredictor(int64_t dim_src, int64_t dim_dst,
+                              tensor::Rng& rng) {
+  predictor_ = std::make_unique<tensor::MergeLayer>(
+      dim_src, dim_dst, config_.embedding_dim, 1, rng);
+}
+
+Var TgnnModel::NodeFeatureBlock(const std::vector<int32_t>& nodes) const {
+  const Tensor& features = graph_->node_features();
+  tensor::CheckOrDie(features.rank() == 2,
+                     "NodeFeatureBlock: node features not initialized");
+  const int64_t d = features.shape()[1];
+  Tensor block({static_cast<int64_t>(nodes.size()), d});
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int64_t row = nodes[i];
+    for (int64_t c = 0; c < d; ++c) {
+      block.at(static_cast<int64_t>(i), c) = features.at(row, c);
+    }
+  }
+  return tensor::Constant(std::move(block));
+}
+
+Var TgnnModel::ScoreEdges(const std::vector<int32_t>& srcs,
+                          const std::vector<int32_t>& dsts,
+                          const std::vector<double>& ts) {
+  tensor::CheckOrDie(predictor_ != nullptr,
+                     "ScoreEdges: predictor not initialized");
+  Var src_emb = ComputeEmbeddings(srcs, ts);
+  Var dst_emb = ComputeEmbeddings(dsts, ts);
+  return predictor_->Forward(src_emb, dst_emb);
+}
+
+void TgnnModel::UpdateState(const Batch& batch) { (void)batch; }
+
+int64_t TgnnModel::ParameterBytes() const {
+  int64_t total = 0;
+  for (const Var& p : Parameters()) total += p->value.size() * 4;
+  return total;
+}
+
+}  // namespace benchtemp::models

@@ -1,0 +1,150 @@
+#ifndef BENCHTEMP_MODELS_MODEL_H_
+#define BENCHTEMP_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/neighbor_finder.h"
+#include "graph/temporal_graph.h"
+#include "graph/walks.h"
+#include "tensor/autograd.h"
+#include "tensor/modules.h"
+#include "tensor/random.h"
+
+namespace benchtemp::models {
+
+/// Hyperparameters shared by the TGNN implementations. The defaults mirror
+/// the reference configurations at CPU scale (see DESIGN.md substitution 1).
+struct ModelConfig {
+  /// Memory / node embedding width.
+  int64_t embedding_dim = 32;
+  /// Time-encoding width.
+  int64_t time_dim = 32;
+  /// Neighbors sampled per attention query (K).
+  int64_t num_neighbors = 10;
+  /// Attention layers (TGAT stacks several).
+  int64_t num_layers = 2;
+  /// Attention heads; constrained by the paper's Formula (1).
+  int64_t num_heads = 2;
+  /// Walks per endpoint for CAWN / NeurTW (M).
+  int64_t num_walks = 4;
+  /// Walk length (L).
+  int64_t walk_length = 2;
+  /// TGAT-only: restrict neighbor lookups to (t - window, t); 0 = no limit.
+  /// A window below the dataset's time granularity reproduces the paper's
+  /// UNTrade runtime error.
+  double tgat_time_window = 0.0;
+  /// Walk-step weighting for the temporal walk models.
+  graph::WalkBias walk_bias = graph::WalkBias::kExponential;
+  /// NeurTW: enable the neural-ODE continuous evolution module
+  /// (Table 23's ablation switches this off).
+  bool use_nodes = true;
+  /// Euler sub-steps of the NODE integrator.
+  int64_t ode_steps = 3;
+  /// NAT: entries per node in each N-cache level.
+  int64_t ncache_size = 8;
+  /// TeMP: quantile of a node's history timestamps used as the subgraph
+  /// reference timestamp. Negative = the mean timestamp (the paper's
+  /// choice, found best across quantiles in Appendix E).
+  double temp_reference_quantile = -1.0;
+  uint64_t seed = 42;
+};
+
+/// Runtime status of a model; kRuntimeError reproduces the paper's "*"
+/// annotation (e.g. TGAT on UNTrade).
+enum class ModelStatus { kOk, kRuntimeError };
+
+/// One chronological mini-batch of observed interactions.
+struct Batch {
+  std::vector<int32_t> srcs;
+  std::vector<int32_t> dsts;
+  std::vector<double> ts;
+  std::vector<int32_t> edge_idxs;
+
+  int64_t size() const { return static_cast<int64_t>(srcs.size()); }
+};
+
+/// Common interface of the benchmark's TGNN implementations.
+///
+/// The pipeline drives a model through chronological batches:
+///   1. `ScoreEdges(pos)` / `ScoreEdges(neg)` — edge logits, with gradients
+///      when `set_training(true)`;
+///   2. `UpdateState(pos)` — the observed events advance the model's
+///      internal temporal state (memory, caches);
+/// and evaluates node classification through `ComputeEmbeddings`.
+class TgnnModel {
+ public:
+  TgnnModel(const graph::TemporalGraph* graph, ModelConfig config);
+  virtual ~TgnnModel() = default;
+
+  TgnnModel(const TgnnModel&) = delete;
+  TgnnModel& operator=(const TgnnModel&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Clears all non-parameter state (memory, caches, pending events).
+  virtual void Reset() = 0;
+
+  /// Temporal embeddings of `nodes` at times `ts` -> [n, embedding_dim].
+  virtual tensor::Var ComputeEmbeddings(const std::vector<int32_t>& nodes,
+                                        const std::vector<double>& ts) = 0;
+
+  /// Edge logits [n, 1] for the candidate pairs. The default merges the
+  /// endpoint embeddings through the model's MergeLayer scorer; pair-feature
+  /// models (CAWN, NeurTW, NAT, EdgeBank) override this.
+  virtual tensor::Var ScoreEdges(const std::vector<int32_t>& srcs,
+                                 const std::vector<int32_t>& dsts,
+                                 const std::vector<double>& ts);
+
+  /// Advances internal temporal state with observed (positive) events.
+  virtual void UpdateState(const Batch& batch);
+
+  /// Trainable parameters of the model (empty for heuristics).
+  virtual std::vector<tensor::Var> Parameters() const = 0;
+
+  /// Bytes of non-parameter runtime state (memory tables, caches) — the
+  /// CPU stand-in for the paper's "GPU memory" column.
+  virtual int64_t StateBytes() const { return 0; }
+
+  /// Neighbor index used for message passing / walks. The trainer installs
+  /// the masked training index during training and the full index for
+  /// evaluation.
+  void SetNeighborFinder(const graph::NeighborFinder* finder) {
+    finder_ = finder;
+  }
+
+  /// Training mode: gradients flow through ScoreEdges and state updates.
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  ModelStatus status() const { return status_; }
+  void ClearStatus() { status_ = ModelStatus::kOk; }
+
+  /// False for non-learned heuristics (EdgeBank).
+  virtual bool trainable() const { return true; }
+
+  int64_t embedding_dim() const { return config_.embedding_dim; }
+  const ModelConfig& config() const { return config_; }
+
+  /// Total parameter bytes (float32).
+  int64_t ParameterBytes() const;
+
+ protected:
+  /// Creates the MergeLayer edge scorer once the embedding width is known.
+  void InitPredictor(int64_t dim_src, int64_t dim_dst, tensor::Rng& rng);
+  /// Gathers a [n, d] block of rows from the graph's node feature matrix.
+  tensor::Var NodeFeatureBlock(const std::vector<int32_t>& nodes) const;
+
+  const graph::TemporalGraph* graph_;
+  const graph::NeighborFinder* finder_ = nullptr;
+  ModelConfig config_;
+  tensor::Rng rng_;
+  bool training_ = false;
+  ModelStatus status_ = ModelStatus::kOk;
+  std::unique_ptr<tensor::MergeLayer> predictor_;
+};
+
+}  // namespace benchtemp::models
+
+#endif  // BENCHTEMP_MODELS_MODEL_H_

@@ -1,0 +1,50 @@
+#include "models/neurtw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace benchtemp::models {
+
+using tensor::Constant;
+using tensor::Tensor;
+using tensor::Var;
+
+NeurTw::NeurTw(const graph::TemporalGraph* graph, ModelConfig config)
+    : WalkModel(graph, config),
+      ode_gate_(config.embedding_dim, config.embedding_dim, rng_),
+      ode_dir_(config.embedding_dim, config.embedding_dim, rng_) {
+  sampler_ = std::make_unique<graph::TemporalWalkSampler>(
+      config_.walk_bias, /*alpha=*/1.0 / time_scale_);
+}
+
+Var NeurTw::EvolveHidden(const tensor::Var& hidden,
+                         const std::vector<float>& gaps) {
+  if (!config_.use_nodes) return hidden;
+  // Fixed-step Euler integration of dh/ds = g(h) ⊙ d(h) over the per-row
+  // normalized interval (Eq. (6)'s change of variables): each Euler step
+  // advances h by (gap / steps) * f(h). Gaps are clamped so extreme
+  // intervals cannot blow up the state.
+  const int64_t rows = hidden->value.rows();
+  Tensor step_sizes({rows, 1});
+  const float inv_steps = 1.0f / static_cast<float>(config_.ode_steps);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float gap = std::min(std::max(gaps[static_cast<size_t>(r)], 0.0f),
+                               10.0f);
+    step_sizes.at(r) = gap * inv_steps;
+  }
+  Var dt = Constant(std::move(step_sizes));
+  Var h = hidden;
+  for (int64_t k = 0; k < config_.ode_steps; ++k) {
+    Var f = Mul(Sigmoid(ode_gate_.Forward(h)), Tanh(ode_dir_.Forward(h)));
+    h = Add(h, Mul(f, dt));
+  }
+  return h;
+}
+
+std::vector<Var> NeurTw::SubclassParameters() const {
+  std::vector<Var> params = ode_gate_.Parameters();
+  for (const Var& p : ode_dir_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace benchtemp::models

@@ -1,0 +1,136 @@
+#include "models/tgat.h"
+
+#include <algorithm>
+
+namespace benchtemp::models {
+
+using graph::TemporalNeighbor;
+using tensor::ConcatCols;
+using tensor::ConcatRows;
+using tensor::Constant;
+using tensor::Tensor;
+using tensor::Var;
+
+Tgat::Tgat(const graph::TemporalGraph* graph, ModelConfig config)
+    : TgnnModel(graph, config),
+      feature_proj_(graph->node_feature_dim(), config_.embedding_dim, rng_),
+      time_encoder_(config_.time_dim, rng_) {
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    layers_.push_back(std::make_unique<tensor::MultiHeadAttention>(
+        config_.embedding_dim + config_.time_dim,
+        config_.embedding_dim + graph->edge_feature_dim() + config_.time_dim,
+        config_.embedding_dim, config_.num_heads, rng_));
+    layer_out_.push_back(std::make_unique<tensor::Linear>(
+        2 * config_.embedding_dim, config_.embedding_dim, rng_));
+  }
+  InitPredictor(config_.embedding_dim, config_.embedding_dim, rng_);
+}
+
+void Tgat::Reset() {
+  // Stateless: nothing to clear besides the error flag.
+  ClearStatus();
+}
+
+std::vector<TemporalNeighbor> Tgat::SampleWindowed(int32_t node, double ts,
+                                                   int64_t k) {
+  int64_t count = 0;
+  const TemporalNeighbor* history = finder_->Before(node, ts, &count);
+  if (count == 0) return {};
+  int64_t lo = 0;
+  if (config_.tgat_time_window > 0.0) {
+    const double window_start = ts - config_.tgat_time_window;
+    lo = std::lower_bound(history, history + count, window_start,
+                          [](const TemporalNeighbor& n, double t) {
+                            return n.ts < t;
+                          }) -
+         history;
+    if (lo >= count) return {};
+  }
+  std::vector<TemporalNeighbor> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    out.push_back(history[lo + rng_.UniformInt(count - lo)]);
+  }
+  return out;
+}
+
+Var Tgat::EmbedLayer(const std::vector<int32_t>& nodes,
+                     const std::vector<double>& ts, int64_t layer) {
+  if (layer == 0) {
+    return feature_proj_.Forward(NodeFeatureBlock(nodes));
+  }
+  tensor::CheckOrDie(finder_ != nullptr, "TGAT: neighbor finder not set");
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  const int64_t k = config_.num_neighbors;
+
+  std::vector<int32_t> flat_neighbors(static_cast<size_t>(n * k), 0);
+  std::vector<double> flat_times(static_cast<size_t>(n * k), 0.0);
+  std::vector<int32_t> flat_edges(static_cast<size_t>(n * k), 0);
+  std::vector<float> flat_dts(static_cast<size_t>(n * k), 0.0f);
+  Tensor mask({n, k});
+  int64_t empty_queries = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto sampled = SampleWindowed(nodes[static_cast<size_t>(i)],
+                                        ts[static_cast<size_t>(i)], k);
+    if (sampled.empty()) ++empty_queries;
+    for (size_t j = 0; j < sampled.size(); ++j) {
+      const TemporalNeighbor& nbr = sampled[j];
+      flat_neighbors[static_cast<size_t>(i * k) + j] = nbr.neighbor;
+      flat_times[static_cast<size_t>(i * k) + j] = nbr.ts;
+      flat_edges[static_cast<size_t>(i * k) + j] = nbr.edge_idx;
+      flat_dts[static_cast<size_t>(i * k) + j] =
+          static_cast<float>(ts[static_cast<size_t>(i)] - nbr.ts);
+      mask.at(i, static_cast<int64_t>(j)) = 1.0f;
+    }
+  }
+  // The paper's "*": with a restrictive window no query in the batch can
+  // assemble an attention neighborhood, which crashes the reference layer.
+  if (config_.tgat_time_window > 0.0 && empty_queries == n && n > 0) {
+    status_ = ModelStatus::kRuntimeError;
+  }
+
+  Var self_prev = EmbedLayer(nodes, ts, layer - 1);
+  Var nbr_prev = EmbedLayer(flat_neighbors, flat_times, layer - 1);
+  Var query = ConcatCols(
+      {self_prev, time_encoder_.Encode(std::vector<float>(
+                      static_cast<size_t>(n), 0.0f))});
+  Var keys = ConcatCols({nbr_prev, /*edge features*/
+                         [this, &flat_edges] {
+                           const Tensor& ef = graph_->edge_features();
+                           const int64_t d = graph_->edge_feature_dim();
+                           Tensor block(
+                               {static_cast<int64_t>(flat_edges.size()), d});
+                           for (size_t r = 0; r < flat_edges.size(); ++r) {
+                             for (int64_t c = 0; c < d; ++c) {
+                               block.at(static_cast<int64_t>(r), c) =
+                                   ef.at(flat_edges[r], c);
+                             }
+                           }
+                           return Constant(std::move(block));
+                         }(),
+                         time_encoder_.Encode(flat_dts)});
+  Var attended = layers_[static_cast<size_t>(layer - 1)]->Forward(
+      query, keys, keys, mask, k);
+  return Relu(layer_out_[static_cast<size_t>(layer - 1)]->Forward(
+      ConcatCols({attended, self_prev})));
+}
+
+Var Tgat::ComputeEmbeddings(const std::vector<int32_t>& nodes,
+                            const std::vector<double>& ts) {
+  return EmbedLayer(nodes, ts, config_.num_layers);
+}
+
+std::vector<Var> Tgat::Parameters() const {
+  std::vector<Var> params = feature_proj_.Parameters();
+  for (const Var& p : time_encoder_.Parameters()) params.push_back(p);
+  for (const auto& layer : layers_) {
+    for (const Var& p : layer->Parameters()) params.push_back(p);
+  }
+  for (const auto& out : layer_out_) {
+    for (const Var& p : out->Parameters()) params.push_back(p);
+  }
+  for (const Var& p : predictor_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace benchtemp::models

@@ -1,0 +1,51 @@
+#ifndef BENCHTEMP_MODELS_TGAT_H_
+#define BENCHTEMP_MODELS_TGAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "tensor/modules.h"
+
+namespace benchtemp::models {
+
+/// TGAT (Xu et al., ICLR 2020): stateless stacked temporal self-attention.
+/// Layer l embeds a node at time t by attending over its sampled temporal
+/// neighbors' layer-(l-1) embeddings, concatenated with edge features and a
+/// Bochner time encoding. No memory: everything is recomputed per query,
+/// which also makes TGAT the natural inductive baseline.
+///
+/// When `config.tgat_time_window > 0`, neighbor lookups are restricted to
+/// (t - window, t). If an entire batch of queries finds no neighbor in the
+/// window the model flags ModelStatus::kRuntimeError — reproducing the
+/// paper's "*" failure of TGAT on UNTrade ("may not find suitable neighbors
+/// within some given time intervals").
+class Tgat : public TgnnModel {
+ public:
+  Tgat(const graph::TemporalGraph* graph, ModelConfig config);
+
+  std::string name() const override { return "TGAT"; }
+  void Reset() override;
+  tensor::Var ComputeEmbeddings(const std::vector<int32_t>& nodes,
+                                const std::vector<double>& ts) override;
+  std::vector<tensor::Var> Parameters() const override;
+
+ private:
+  /// Recursive layered embedding; layer 0 returns projected node features.
+  tensor::Var EmbedLayer(const std::vector<int32_t>& nodes,
+                         const std::vector<double>& ts, int64_t layer);
+
+  /// Samples up to k neighbors of (node, t) within the configured window.
+  std::vector<graph::TemporalNeighbor> SampleWindowed(int32_t node, double ts,
+                                                      int64_t k);
+
+  tensor::Linear feature_proj_;
+  tensor::TimeEncoder time_encoder_;
+  std::vector<std::unique_ptr<tensor::MultiHeadAttention>> layers_;
+  std::vector<std::unique_ptr<tensor::Linear>> layer_out_;
+};
+
+}  // namespace benchtemp::models
+
+#endif  // BENCHTEMP_MODELS_TGAT_H_

@@ -1,0 +1,179 @@
+#include "models/walk_base.h"
+
+#include <algorithm>
+
+namespace benchtemp::models {
+
+using graph::CawAnonymizer;
+using graph::TemporalWalk;
+using tensor::ConcatCols;
+using tensor::ConcatRows;
+using tensor::Constant;
+using tensor::Tensor;
+using tensor::Var;
+
+WalkModel::WalkModel(const graph::TemporalGraph* graph, ModelConfig config)
+    : TgnnModel(graph, config),
+      time_encoder_(config.time_dim, rng_),
+      step_proj_(2 * (config.walk_length + 1) + config.time_dim +
+                     graph->edge_feature_dim(),
+                 config.embedding_dim, rng_),
+      encoder_(config.embedding_dim, config.embedding_dim, rng_),
+      score_head_({config.embedding_dim, config.embedding_dim, 1}, rng_),
+      embed_head_(config.embedding_dim, config.embedding_dim, rng_) {
+  if (graph->num_events() > 1) {
+    const double span =
+        graph->event(graph->num_events() - 1).ts - graph->event(0).ts;
+    time_scale_ =
+        std::max(span / static_cast<double>(graph->num_events()), 1e-9);
+  }
+}
+
+void WalkModel::Reset() {
+  ClearStatus();
+  last_walk_bytes_ = 0;
+}
+
+int64_t WalkModel::StepInputDim() const {
+  return 2 * (config_.walk_length + 1) + config_.time_dim +
+         graph_->edge_feature_dim();
+}
+
+Var WalkModel::EvolveHidden(const tensor::Var& hidden,
+                            const std::vector<float>& gaps) {
+  (void)gaps;
+  return hidden;
+}
+
+Var WalkModel::EncodeWalkGroups(
+    const std::vector<std::vector<TemporalWalk>>& groups,
+    const std::vector<CawAnonymizer>& anonymizers,
+    const std::vector<double>& root_ts) {
+  const int64_t num_groups = static_cast<int64_t>(groups.size());
+  tensor::CheckOrDie(num_groups > 0, "EncodeWalkGroups: no groups");
+  const int64_t walks_per_group =
+      static_cast<int64_t>(groups[0].size());
+  const int64_t rows = num_groups * walks_per_group;
+  const int64_t steps = config_.walk_length + 1;
+  const int64_t anon_dim = 2 * (config_.walk_length + 1);
+  const int64_t edge_dim = graph_->edge_feature_dim();
+  const Tensor& edge_features = graph_->edge_features();
+
+  last_walk_bytes_ = rows * steps *
+                     static_cast<int64_t>(sizeof(graph::WalkStep));
+
+  Var hidden = Constant(Tensor({rows, config_.embedding_dim}));
+  for (int64_t s = 0; s < steps; ++s) {
+    Tensor anon({rows, anon_dim});
+    Tensor edge_block({rows, edge_dim});
+    std::vector<float> dts(static_cast<size_t>(rows), 0.0f);
+    std::vector<float> gaps(static_cast<size_t>(rows), 0.0f);
+    Tensor mask({rows, 1});
+    for (int64_t g = 0; g < num_groups; ++g) {
+      const auto& group = groups[static_cast<size_t>(g)];
+      tensor::CheckOrDie(
+          static_cast<int64_t>(group.size()) == walks_per_group,
+          "EncodeWalkGroups: ragged group");
+      for (int64_t w = 0; w < walks_per_group; ++w) {
+        const TemporalWalk& walk = group[static_cast<size_t>(w)];
+        const int64_t row = g * walks_per_group + w;
+        if (s >= static_cast<int64_t>(walk.size())) continue;  // ended
+        const graph::WalkStep& step = walk[static_cast<size_t>(s)];
+        mask.at(row) = 1.0f;
+        const auto feature =
+            anonymizers[static_cast<size_t>(g)].Encode(step.node);
+        for (int64_t c = 0; c < anon_dim; ++c) {
+          anon.at(row, c) = feature[static_cast<size_t>(c)];
+        }
+        if (step.edge_idx >= 0) {
+          for (int64_t c = 0; c < edge_dim; ++c) {
+            edge_block.at(row, c) = edge_features.at(step.edge_idx, c);
+          }
+        }
+        dts[static_cast<size_t>(row)] = static_cast<float>(
+            (root_ts[static_cast<size_t>(g)] - step.ts) / time_scale_);
+        if (s > 0 && s < static_cast<int64_t>(walk.size())) {
+          gaps[static_cast<size_t>(row)] = static_cast<float>(
+              (walk[static_cast<size_t>(s - 1)].ts - step.ts) / time_scale_);
+        }
+      }
+    }
+    Var x = Relu(step_proj_.Forward(
+        ConcatCols({Constant(std::move(anon)), time_encoder_.Encode(dts),
+                    Constant(std::move(edge_block))})));
+    if (s > 0) hidden = EvolveHidden(hidden, gaps);
+    Var next = encoder_.Forward(x, hidden);
+    // Walks that already ended keep their previous hidden state.
+    Var m = Constant(mask);
+    Var inv = ScalarAdd(ScalarMul(m, -1.0f), 1.0f);
+    hidden = Add(Mul(next, m), Mul(hidden, inv));
+  }
+  // Mean-pool each group's walk encodings.
+  Tensor pool_weights({num_groups, walks_per_group});
+  pool_weights.Fill(1.0f / static_cast<float>(walks_per_group));
+  return BatchWeightedSum(Constant(std::move(pool_weights)), hidden,
+                          walks_per_group);
+}
+
+Var WalkModel::EncodePairs(const std::vector<int32_t>& srcs,
+                           const std::vector<int32_t>& dsts,
+                           const std::vector<double>& ts) {
+  tensor::CheckOrDie(finder_ != nullptr, "WalkModel: neighbor finder not set");
+  const size_t n = srcs.size();
+  std::vector<std::vector<TemporalWalk>> groups;
+  std::vector<CawAnonymizer> anonymizers;
+  groups.reserve(n);
+  anonymizers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto walks_u =
+        sampler_->SampleWalks(*finder_, srcs[i], ts[i], config_.num_walks,
+                              config_.walk_length, rng_);
+    auto walks_v =
+        sampler_->SampleWalks(*finder_, dsts[i], ts[i], config_.num_walks,
+                              config_.walk_length, rng_);
+    anonymizers.emplace_back(walks_u, walks_v, config_.walk_length);
+    std::vector<TemporalWalk> group = std::move(walks_u);
+    for (auto& w : walks_v) group.push_back(std::move(w));
+    groups.push_back(std::move(group));
+  }
+  return EncodeWalkGroups(groups, anonymizers, ts);
+}
+
+Var WalkModel::ScoreEdges(const std::vector<int32_t>& srcs,
+                          const std::vector<int32_t>& dsts,
+                          const std::vector<double>& ts) {
+  return score_head_.Forward(EncodePairs(srcs, dsts, ts));
+}
+
+Var WalkModel::ComputeEmbeddings(const std::vector<int32_t>& nodes,
+                                 const std::vector<double>& ts) {
+  tensor::CheckOrDie(finder_ != nullptr, "WalkModel: neighbor finder not set");
+  const size_t n = nodes.size();
+  std::vector<std::vector<TemporalWalk>> groups;
+  std::vector<CawAnonymizer> anonymizers;
+  groups.reserve(n);
+  anonymizers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto walks =
+        sampler_->SampleWalks(*finder_, nodes[i], ts[i], config_.num_walks,
+                              config_.walk_length, rng_);
+    anonymizers.emplace_back(walks, walks, config_.walk_length);
+    groups.push_back(std::move(walks));
+  }
+  Var pooled = EncodeWalkGroups(groups, anonymizers, ts);
+  return embed_head_.Forward(pooled);
+}
+
+std::vector<Var> WalkModel::Parameters() const {
+  std::vector<Var> params = time_encoder_.Parameters();
+  for (const Var& p : step_proj_.Parameters()) params.push_back(p);
+  for (const Var& p : encoder_.Parameters()) params.push_back(p);
+  for (const Var& p : score_head_.Parameters()) params.push_back(p);
+  for (const Var& p : embed_head_.Parameters()) params.push_back(p);
+  for (const Var& p : SubclassParameters()) params.push_back(p);
+  return params;
+}
+
+int64_t WalkModel::StateBytes() const { return last_walk_bytes_; }
+
+}  // namespace benchtemp::models

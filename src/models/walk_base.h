@@ -1,0 +1,74 @@
+#ifndef BENCHTEMP_MODELS_WALK_BASE_H_
+#define BENCHTEMP_MODELS_WALK_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/walks.h"
+#include "models/model.h"
+#include "tensor/modules.h"
+
+namespace benchtemp::models {
+
+/// Shared machinery of the temporal-walk models (CAWN, NeurTW): batched
+/// sampling of backward-in-time walks, set-based anonymization, and an
+/// RNN encoder that processes *all* walks of a batch step-synchronously
+/// (one GRU call per walk position instead of one per walk).
+class WalkModel : public TgnnModel {
+ public:
+  WalkModel(const graph::TemporalGraph* graph, ModelConfig config);
+
+  void Reset() override;
+  tensor::Var ScoreEdges(const std::vector<int32_t>& srcs,
+                         const std::vector<int32_t>& dsts,
+                         const std::vector<double>& ts) override;
+  tensor::Var ComputeEmbeddings(const std::vector<int32_t>& nodes,
+                                const std::vector<double>& ts) override;
+  std::vector<tensor::Var> Parameters() const override;
+  int64_t StateBytes() const override;
+
+ protected:
+  /// Hook for NeurTW's continuous evolution: transform the hidden state
+  /// across the (normalized) time gaps `gaps` ([rows] entries) before the
+  /// next walk step is consumed. Default: identity.
+  virtual tensor::Var EvolveHidden(const tensor::Var& hidden,
+                                   const std::vector<float>& gaps);
+
+  /// Extra parameters of subclass modules.
+  virtual std::vector<tensor::Var> SubclassParameters() const { return {}; }
+
+  /// Input feature width of one walk step:
+  /// anonymization (2*(L+1)) + time encoding + edge features.
+  int64_t StepInputDim() const;
+
+  /// Pooled walk encoding of each candidate pair (the representation the
+  /// score head consumes) -> [n, embedding_dim]. Exposed so hybrid models
+  /// can combine the motif encoding with other feature channels.
+  tensor::Var EncodePairs(const std::vector<int32_t>& srcs,
+                          const std::vector<int32_t>& dsts,
+                          const std::vector<double>& ts);
+
+  /// Encodes one group of walks per scoring unit and mean-pools ->
+  /// [groups, embedding_dim]. `anonymizers[g]` encodes node identity
+  /// relative to the unit's walk sets; `root_ts[g]` is the query time.
+  tensor::Var EncodeWalkGroups(
+      const std::vector<std::vector<graph::TemporalWalk>>& groups,
+      const std::vector<graph::CawAnonymizer>& anonymizers,
+      const std::vector<double>& root_ts);
+
+  std::unique_ptr<graph::TemporalWalkSampler> sampler_;
+  tensor::TimeEncoder time_encoder_;
+  tensor::Linear step_proj_;
+  tensor::GruCell encoder_;
+  tensor::Mlp score_head_;
+  tensor::Linear embed_head_;
+  /// Mean inter-event gap of the graph; normalizes time deltas.
+  double time_scale_ = 1.0;
+  /// Rough accounting of walk buffer bytes for the efficiency report.
+  int64_t last_walk_bytes_ = 0;
+};
+
+}  // namespace benchtemp::models
+
+#endif  // BENCHTEMP_MODELS_WALK_BASE_H_

@@ -1,0 +1,806 @@
+#include "tensor/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace benchtemp::tensor {
+
+namespace {
+
+/// True when `b` can be row-broadcast across `a`: b is [1, d] or rank-1 [d]
+/// while a is [n, d].
+bool IsRowBroadcast(const Tensor& a, const Tensor& b) {
+  return b.size() == a.cols() && b.rows() <= 1;
+}
+
+/// True when `b` can be column-broadcast across `a`: b is [n, 1] or rank-1
+/// [n] while a is [n, d].
+bool IsColBroadcast(const Tensor& a, const Tensor& b) {
+  return b.size() == a.rows() && a.cols() > 1;
+}
+
+Var MakeNode(Tensor value, std::vector<Var> parents,
+             std::function<void(VarNode&)> backward_fn) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  bool any_grad = false;
+  for (const Var& p : node->parents) any_grad = any_grad || p->requires_grad;
+  node->requires_grad = any_grad;
+  if (any_grad) node->backward_fn = std::move(backward_fn);
+  return node;
+}
+
+void TopoSort(const Var& root, std::vector<VarNode*>& order) {
+  // Iterative post-order DFS; the graph can be deep (RNN over long batches).
+  std::unordered_set<VarNode*> visited;
+  struct Frame {
+    VarNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      VarNode* parent = frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+Tensor& VarNode::EnsureGrad() {
+  if (grad.size() != value.size()) grad = Tensor(value.shape());
+  return grad;
+}
+
+Var Constant(Tensor value) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return node;
+}
+
+Var Parameter(Tensor value) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return node;
+}
+
+Var Detach(const Var& a) { return Constant(a->value); }
+
+void Backward(const Var& root) {
+  CheckOrDie(root != nullptr, "Backward: null root");
+  CheckOrDie(root->value.size() == 1, "Backward: root must be scalar");
+  if (!root->requires_grad) return;
+  root->EnsureGrad().at(0) = 1.0f;
+  std::vector<VarNode*> order;
+  TopoSort(root, order);
+  // Post-order yields parents before children; reverse for backprop.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VarNode* node = *it;
+    if (node->backward_fn && node->grad.size() == node->value.size()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void ZeroGrad(const std::vector<Var>& params) {
+  for (const Var& p : params) {
+    if (p->grad.size() > 0) p->grad.Fill(0.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic.
+// ---------------------------------------------------------------------------
+
+Var Add(const Var& a, const Var& b) {
+  const Tensor& av = a->value;
+  const Tensor& bv = b->value;
+  if (av.SameShape(bv) || av.size() == bv.size()) {
+    Tensor out = av;
+    out.AddInPlace(bv);
+    return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
+      for (int i = 0; i < 2; ++i) {
+        VarNode& p = *self.parents[i];
+        if (!p.requires_grad) continue;
+        p.EnsureGrad().AddInPlace(self.grad);
+      }
+    });
+  }
+  CheckOrDie(IsRowBroadcast(av, bv), "Add: incompatible shapes");
+  const int64_t n = av.rows(), d = av.cols();
+  Tensor out = av;
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < d; ++c) out.at(r * d + c) += bv.at(c);
+  }
+  return MakeNode(std::move(out), {a, b}, [n, d](VarNode& self) {
+    VarNode& pa = *self.parents[0];
+    VarNode& pb = *self.parents[1];
+    if (pa.requires_grad) pa.EnsureGrad().AddInPlace(self.grad);
+    if (pb.requires_grad) {
+      Tensor& g = pb.EnsureGrad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t c = 0; c < d; ++c) g.at(c) += self.grad.at(r * d + c);
+      }
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  CheckOrDie(a->value.size() == b->value.size(), "Sub: shape mismatch");
+  Tensor out = a->value;
+  const float* bp = b->value.data();
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) -= bp[i];
+  return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
+    VarNode& pa = *self.parents[0];
+    VarNode& pb = *self.parents[1];
+    if (pa.requires_grad) pa.EnsureGrad().AddInPlace(self.grad);
+    if (pb.requires_grad) {
+      Tensor& g = pb.EnsureGrad();
+      for (int64_t i = 0; i < g.size(); ++i) g.at(i) -= self.grad.at(i);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  const Tensor& av = a->value;
+  const Tensor& bv = b->value;
+  if (av.size() == bv.size()) {
+    Tensor out = av;
+    for (int64_t i = 0; i < out.size(); ++i) out.at(i) *= bv.at(i);
+    return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
+      VarNode& pa = *self.parents[0];
+      VarNode& pb = *self.parents[1];
+      if (pa.requires_grad) {
+        Tensor& g = pa.EnsureGrad();
+        for (int64_t i = 0; i < g.size(); ++i)
+          g.at(i) += self.grad.at(i) * pb.value.at(i);
+      }
+      if (pb.requires_grad) {
+        Tensor& g = pb.EnsureGrad();
+        for (int64_t i = 0; i < g.size(); ++i)
+          g.at(i) += self.grad.at(i) * pa.value.at(i);
+      }
+    });
+  }
+  const int64_t n = av.rows(), d = av.cols();
+  if (IsRowBroadcast(av, bv)) {
+    Tensor out = av;
+    for (int64_t r = 0; r < n; ++r)
+      for (int64_t c = 0; c < d; ++c) out.at(r * d + c) *= bv.at(c);
+    return MakeNode(std::move(out), {a, b}, [n, d](VarNode& self) {
+      VarNode& pa = *self.parents[0];
+      VarNode& pb = *self.parents[1];
+      if (pa.requires_grad) {
+        Tensor& g = pa.EnsureGrad();
+        for (int64_t r = 0; r < n; ++r)
+          for (int64_t c = 0; c < d; ++c)
+            g.at(r * d + c) += self.grad.at(r * d + c) * pb.value.at(c);
+      }
+      if (pb.requires_grad) {
+        Tensor& g = pb.EnsureGrad();
+        for (int64_t r = 0; r < n; ++r)
+          for (int64_t c = 0; c < d; ++c)
+            g.at(c) += self.grad.at(r * d + c) * pa.value.at(r * d + c);
+      }
+    });
+  }
+  CheckOrDie(IsColBroadcast(av, bv), "Mul: incompatible shapes");
+  Tensor out = av;
+  for (int64_t r = 0; r < n; ++r)
+    for (int64_t c = 0; c < d; ++c) out.at(r * d + c) *= bv.at(r);
+  return MakeNode(std::move(out), {a, b}, [n, d](VarNode& self) {
+    VarNode& pa = *self.parents[0];
+    VarNode& pb = *self.parents[1];
+    if (pa.requires_grad) {
+      Tensor& g = pa.EnsureGrad();
+      for (int64_t r = 0; r < n; ++r)
+        for (int64_t c = 0; c < d; ++c)
+          g.at(r * d + c) += self.grad.at(r * d + c) * pb.value.at(r);
+    }
+    if (pb.requires_grad) {
+      Tensor& g = pb.EnsureGrad();
+      for (int64_t r = 0; r < n; ++r)
+        for (int64_t c = 0; c < d; ++c)
+          g.at(r) += self.grad.at(r * d + c) * pa.value.at(r * d + c);
+    }
+  });
+}
+
+Var ScalarMul(const Var& a, float s) {
+  Tensor out = a->value;
+  out.Scale(s);
+  return MakeNode(std::move(out), {a}, [s](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t i = 0; i < g.size(); ++i) g.at(i) += s * self.grad.at(i);
+  });
+}
+
+Var ScalarAdd(const Var& a, float s) {
+  Tensor out = a->value;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) += s;
+  return MakeNode(std::move(out), {a}, [](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (p.requires_grad) p.EnsureGrad().AddInPlace(self.grad);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra and shape ops.
+// ---------------------------------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b) {
+  const Tensor& av = a->value;
+  const Tensor& bv = b->value;
+  CheckOrDie(av.rank() == 2 && bv.rank() == 2, "MatMul: rank-2 required");
+  const int64_t n = av.shape()[0], k = av.shape()[1], m = bv.shape()[1];
+  CheckOrDie(bv.shape()[0] == k, "MatMul: inner dimension mismatch");
+  Tensor out({n, m});
+  const float* ap = av.data();
+  const float* bp = bv.data();
+  float* op = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float aval = ap[i * k + p];
+      if (aval == 0.0f) continue;
+      const float* brow = bp + p * m;
+      float* orow = op + i * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return MakeNode(std::move(out), {a, b}, [n, k, m](VarNode& self) {
+    VarNode& pa = *self.parents[0];
+    VarNode& pb = *self.parents[1];
+    const float* gp = self.grad.data();
+    if (pa.requires_grad) {
+      // dA = dOut * B^T.
+      Tensor& ga = pa.EnsureGrad();
+      const float* bp = pb.value.data();
+      float* gap = ga.data();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+          const float gval = gp[i * m + j];
+          if (gval == 0.0f) continue;
+          for (int64_t p = 0; p < k; ++p) gap[i * k + p] += gval * bp[p * m + j];
+        }
+      }
+    }
+    if (pb.requires_grad) {
+      // dB = A^T * dOut.
+      Tensor& gb = pb.EnsureGrad();
+      const float* ap = pa.value.data();
+      float* gbp = gb.data();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+          const float aval = ap[i * k + p];
+          if (aval == 0.0f) continue;
+          const float* grow = gp + i * m;
+          float* gbrow = gbp + p * m;
+          for (int64_t j = 0; j < m; ++j) gbrow[j] += aval * grow[j];
+        }
+      }
+    }
+  });
+}
+
+Var Transpose(const Var& a) {
+  const Tensor& av = a->value;
+  CheckOrDie(av.rank() == 2, "Transpose: rank-2 required");
+  const int64_t n = av.shape()[0], m = av.shape()[1];
+  Tensor out({m, n});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j) out.at(j, i) = av.at(i, j);
+  return MakeNode(std::move(out), {a}, [n, m](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < m; ++j) g.at(i, j) += self.grad.at(j, i);
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  CheckOrDie(!parts.empty(), "ConcatCols: empty input");
+  const int64_t n = parts[0]->value.rows();
+  int64_t total = 0;
+  for (const Var& p : parts) {
+    CheckOrDie(p->value.rows() == n, "ConcatCols: row count mismatch");
+    total += p->value.cols();
+  }
+  Tensor out({n, total});
+  int64_t offset = 0;
+  std::vector<int64_t> widths;
+  for (const Var& p : parts) {
+    const int64_t w = p->value.cols();
+    widths.push_back(w);
+    for (int64_t r = 0; r < n; ++r)
+      for (int64_t c = 0; c < w; ++c)
+        out.at(r, offset + c) = p->value.at(r * w + c);
+    offset += w;
+  }
+  std::vector<Var> parents(parts.begin(), parts.end());
+  return MakeNode(std::move(out), std::move(parents),
+                  [n, total, widths](VarNode& self) {
+                    int64_t offset = 0;
+                    for (size_t i = 0; i < self.parents.size(); ++i) {
+                      VarNode& p = *self.parents[i];
+                      const int64_t w = widths[i];
+                      if (p.requires_grad) {
+                        Tensor& g = p.EnsureGrad();
+                        for (int64_t r = 0; r < n; ++r)
+                          for (int64_t c = 0; c < w; ++c)
+                            g.at(r * w + c) +=
+                                self.grad.at(r * total + offset + c);
+                      }
+                      offset += w;
+                    }
+                  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  CheckOrDie(!parts.empty(), "ConcatRows: empty input");
+  const int64_t d = parts[0]->value.cols();
+  int64_t total = 0;
+  for (const Var& p : parts) {
+    CheckOrDie(p->value.cols() == d, "ConcatRows: column count mismatch");
+    total += p->value.rows();
+  }
+  Tensor out({total, d});
+  int64_t offset = 0;
+  std::vector<int64_t> heights;
+  for (const Var& p : parts) {
+    const int64_t h = p->value.rows();
+    heights.push_back(h);
+    for (int64_t i = 0; i < h * d; ++i)
+      out.at(offset * d + i) = p->value.at(i);
+    offset += h;
+  }
+  std::vector<Var> parents(parts.begin(), parts.end());
+  return MakeNode(std::move(out), std::move(parents),
+                  [d, heights](VarNode& self) {
+                    int64_t offset = 0;
+                    for (size_t i = 0; i < self.parents.size(); ++i) {
+                      VarNode& p = *self.parents[i];
+                      const int64_t h = heights[i];
+                      if (p.requires_grad) {
+                        Tensor& g = p.EnsureGrad();
+                        for (int64_t j = 0; j < h * d; ++j)
+                          g.at(j) += self.grad.at(offset * d + j);
+                      }
+                      offset += h;
+                    }
+                  });
+}
+
+Var SliceCols(const Var& a, int64_t start, int64_t len) {
+  const Tensor& av = a->value;
+  CheckOrDie(av.rank() == 2, "SliceCols: rank-2 required");
+  const int64_t n = av.shape()[0], d = av.shape()[1];
+  CheckOrDie(start >= 0 && start + len <= d, "SliceCols: out of range");
+  Tensor out({n, len});
+  for (int64_t r = 0; r < n; ++r)
+    for (int64_t c = 0; c < len; ++c) out.at(r, c) = av.at(r, start + c);
+  return MakeNode(std::move(out), {a}, [n, d, start, len](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t r = 0; r < n; ++r)
+      for (int64_t c = 0; c < len; ++c)
+        g.at(r * d + start + c) += self.grad.at(r * len + c);
+  });
+}
+
+Var SliceRows(const Var& a, int64_t start, int64_t len) {
+  const Tensor& av = a->value;
+  CheckOrDie(av.rank() == 2, "SliceRows: rank-2 required");
+  const int64_t d = av.shape()[1];
+  CheckOrDie(start >= 0 && start + len <= av.shape()[0],
+             "SliceRows: out of range");
+  Tensor out({len, d});
+  for (int64_t i = 0; i < len * d; ++i) out.at(i) = av.at(start * d + i);
+  return MakeNode(std::move(out), {a}, [d, start, len](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t i = 0; i < len * d; ++i)
+      g.at(start * d + i) += self.grad.at(i);
+  });
+}
+
+Var Reshape(const Var& a, std::vector<int64_t> shape) {
+  int64_t volume = 1;
+  for (int64_t s : shape) volume *= s;
+  CheckOrDie(volume == a->value.size(), "Reshape: volume mismatch");
+  Tensor out = a->value;
+  std::vector<float> payload(out.data(), out.data() + out.size());
+  Tensor reshaped = Tensor::FromVector(std::move(shape), std::move(payload));
+  return MakeNode(std::move(reshaped), {a}, [](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t i = 0; i < g.size(); ++i) g.at(i) += self.grad.at(i);
+  });
+}
+
+Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
+  const Tensor& tv = table->value;
+  CheckOrDie(tv.rank() == 2, "GatherRows: rank-2 table required");
+  const int64_t d = tv.shape()[1];
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Tensor out({n, d});
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t idx = indices[static_cast<size_t>(r)];
+    CheckOrDie(idx >= 0 && idx < tv.shape()[0], "GatherRows: index range");
+    for (int64_t c = 0; c < d; ++c) out.at(r, c) = tv.at(idx, c);
+  }
+  return MakeNode(std::move(out), {table}, [indices, d, n](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t r = 0; r < n; ++r) {
+      const int64_t idx = indices[static_cast<size_t>(r)];
+      for (int64_t c = 0; c < d; ++c)
+        g.at(idx * d + c) += self.grad.at(r * d + c);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinearities.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared scaffold for elementwise unary ops: `fwd` computes the output
+/// entry, `bwd(out, in)` the local derivative.
+template <typename Fwd, typename Bwd>
+Var Unary(const Var& a, Fwd fwd, Bwd bwd) {
+  Tensor out = a->value;
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = fwd(out.at(i));
+  return MakeNode(std::move(out), {a}, [bwd](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t i = 0; i < g.size(); ++i)
+      g.at(i) += self.grad.at(i) * bwd(self.value.at(i), p.value.at(i));
+  });
+}
+
+}  // namespace
+
+Var Sigmoid(const Var& a) {
+  return Unary(
+      a,
+      [](float x) {
+        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float out, float) { return out * (1.0f - out); });
+}
+
+Var Tanh(const Var& a) {
+  return Unary(a, [](float x) { return std::tanh(x); },
+               [](float out, float) { return 1.0f - out * out; });
+}
+
+Var Relu(const Var& a) {
+  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+               [](float, float in) { return in > 0.0f ? 1.0f : 0.0f; });
+}
+
+Var Exp(const Var& a) {
+  return Unary(a, [](float x) { return std::exp(x); },
+               [](float out, float) { return out; });
+}
+
+Var Cos(const Var& a) {
+  return Unary(a, [](float x) { return std::cos(x); },
+               [](float, float in) { return -std::sin(in); });
+}
+
+Var Sin(const Var& a) {
+  return Unary(a, [](float x) { return std::sin(x); },
+               [](float, float in) { return std::cos(in); });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions and losses.
+// ---------------------------------------------------------------------------
+
+Var Sum(const Var& a) {
+  float total = 0.0f;
+  for (int64_t i = 0; i < a->value.size(); ++i) total += a->value.at(i);
+  Tensor out({1});
+  out.at(0) = total;
+  return MakeNode(std::move(out), {a}, [](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    const float seed = self.grad.at(0);
+    for (int64_t i = 0; i < g.size(); ++i) g.at(i) += seed;
+  });
+}
+
+Var Mean(const Var& a) {
+  const int64_t n = a->value.size();
+  CheckOrDie(n > 0, "Mean: empty tensor");
+  return ScalarMul(Sum(a), 1.0f / static_cast<float>(n));
+}
+
+Var MeanRows(const Var& a) {
+  const Tensor& av = a->value;
+  CheckOrDie(av.rank() == 2, "MeanRows: rank-2 required");
+  const int64_t n = av.shape()[0], d = av.shape()[1];
+  CheckOrDie(n > 0, "MeanRows: empty tensor");
+  Tensor out({1, d});
+  for (int64_t r = 0; r < n; ++r)
+    for (int64_t c = 0; c < d; ++c) out.at(c) += av.at(r, c);
+  const float inv = 1.0f / static_cast<float>(n);
+  out.Scale(inv);
+  return MakeNode(std::move(out), {a}, [n, d, inv](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    for (int64_t r = 0; r < n; ++r)
+      for (int64_t c = 0; c < d; ++c)
+        g.at(r * d + c) += inv * self.grad.at(c);
+  });
+}
+
+namespace {
+
+void SoftmaxRow(const float* in, const float* mask, int64_t d, float* out) {
+  float max_val = -1e30f;
+  bool any = false;
+  for (int64_t c = 0; c < d; ++c) {
+    if (mask != nullptr && mask[c] == 0.0f) continue;
+    any = true;
+    max_val = std::max(max_val, in[c]);
+  }
+  if (!any) {
+    for (int64_t c = 0; c < d; ++c) out[c] = 0.0f;
+    return;
+  }
+  float total = 0.0f;
+  for (int64_t c = 0; c < d; ++c) {
+    if (mask != nullptr && mask[c] == 0.0f) {
+      out[c] = 0.0f;
+      continue;
+    }
+    out[c] = std::exp(in[c] - max_val);
+    total += out[c];
+  }
+  for (int64_t c = 0; c < d; ++c) out[c] /= total;
+}
+
+Var SoftmaxImpl(const Var& a, const Tensor* mask) {
+  const Tensor& av = a->value;
+  CheckOrDie(av.rank() == 2, "SoftmaxRows: rank-2 required");
+  const int64_t n = av.shape()[0], d = av.shape()[1];
+  if (mask != nullptr) {
+    CheckOrDie(mask->size() == n * d, "MaskedSoftmaxRows: mask size");
+  }
+  Tensor out({n, d});
+  for (int64_t r = 0; r < n; ++r) {
+    SoftmaxRow(av.data() + r * d,
+               mask != nullptr ? mask->data() + r * d : nullptr, d,
+               out.data() + r * d);
+  }
+  return MakeNode(std::move(out), {a}, [n, d](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    // dx = s * (g - dot(g, s)) per row; masked entries have s == 0 so they
+    // receive no gradient automatically.
+    for (int64_t r = 0; r < n; ++r) {
+      const float* s = self.value.data() + r * d;
+      const float* go = self.grad.data() + r * d;
+      float dot = 0.0f;
+      for (int64_t c = 0; c < d; ++c) dot += go[c] * s[c];
+      float* gi = g.data() + r * d;
+      for (int64_t c = 0; c < d; ++c) gi[c] += s[c] * (go[c] - dot);
+    }
+  });
+}
+
+}  // namespace
+
+Var SoftmaxRows(const Var& a) { return SoftmaxImpl(a, nullptr); }
+
+Var MaskedSoftmaxRows(const Var& a, const Tensor& mask) {
+  return SoftmaxImpl(a, &mask);
+}
+
+Var BceWithLogits(const Var& logits, const Tensor& targets) {
+  const Tensor& lv = logits->value;
+  CheckOrDie(lv.size() == targets.size(), "BceWithLogits: size mismatch");
+  const int64_t n = lv.size();
+  CheckOrDie(n > 0, "BceWithLogits: empty input");
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float x = lv.at(i), y = targets.at(i);
+    // log(1 + exp(x)) computed stably.
+    const float softplus =
+        x > 0.0f ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+    total += softplus - x * y;
+  }
+  Tensor out({1});
+  out.at(0) = total / static_cast<float>(n);
+  Tensor saved_targets = targets;
+  return MakeNode(std::move(out), {logits},
+                  [n, saved_targets](VarNode& self) {
+                    VarNode& p = *self.parents[0];
+                    if (!p.requires_grad) return;
+                    Tensor& g = p.EnsureGrad();
+                    const float seed = self.grad.at(0) / static_cast<float>(n);
+                    for (int64_t i = 0; i < n; ++i) {
+                      const float x = p.value.at(i);
+                      const float sig =
+                          x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                                    : std::exp(x) / (1.0f + std::exp(x));
+                      g.at(i) += seed * (sig - saved_targets.at(i));
+                    }
+                  });
+}
+
+Var SoftmaxCrossEntropy(const Var& logits,
+                        const std::vector<int64_t>& labels) {
+  const Tensor& lv = logits->value;
+  CheckOrDie(lv.rank() == 2, "SoftmaxCrossEntropy: rank-2 logits required");
+  const int64_t n = lv.shape()[0], c_dim = lv.shape()[1];
+  CheckOrDie(static_cast<int64_t>(labels.size()) == n,
+             "SoftmaxCrossEntropy: label count");
+  Tensor probs({n, c_dim});
+  for (int64_t r = 0; r < n; ++r)
+    SoftmaxRow(lv.data() + r * c_dim, nullptr, c_dim, probs.data() + r * c_dim);
+  float total = 0.0f;
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t y = labels[static_cast<size_t>(r)];
+    CheckOrDie(y >= 0 && y < c_dim, "SoftmaxCrossEntropy: label range");
+    total -= std::log(std::max(probs.at(r, y), 1e-12f));
+  }
+  Tensor out({1});
+  out.at(0) = total / static_cast<float>(n);
+  return MakeNode(
+      std::move(out), {logits},
+      [n, c_dim, labels, probs](VarNode& self) {
+        VarNode& p = *self.parents[0];
+        if (!p.requires_grad) return;
+        Tensor& g = p.EnsureGrad();
+        const float seed = self.grad.at(0) / static_cast<float>(n);
+        for (int64_t r = 0; r < n; ++r) {
+          const int64_t y = labels[static_cast<size_t>(r)];
+          for (int64_t c = 0; c < c_dim; ++c) {
+            g.at(r * c_dim + c) +=
+                seed * (probs.at(r, c) - (c == y ? 1.0f : 0.0f));
+          }
+        }
+      });
+}
+
+Var MseLoss(const Var& pred, const Tensor& target) {
+  CheckOrDie(pred->value.size() == target.size(), "MseLoss: size mismatch");
+  const int64_t n = pred->value.size();
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float diff = pred->value.at(i) - target.at(i);
+    total += diff * diff;
+  }
+  Tensor out({1});
+  out.at(0) = total / static_cast<float>(n);
+  Tensor saved = target;
+  return MakeNode(std::move(out), {pred}, [n, saved](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    Tensor& g = p.EnsureGrad();
+    const float seed = self.grad.at(0) * 2.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i)
+      g.at(i) += seed * (p.value.at(i) - saved.at(i));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Batched attention primitives.
+// ---------------------------------------------------------------------------
+
+Var BatchDot(const Var& q, const Var& k_block, int64_t num_keys) {
+  const Tensor& qv = q->value;
+  const Tensor& kv = k_block->value;
+  CheckOrDie(qv.rank() == 2 && kv.rank() == 2, "BatchDot: rank-2 required");
+  const int64_t b = qv.shape()[0], d = qv.shape()[1];
+  CheckOrDie(kv.shape()[0] == b * num_keys && kv.shape()[1] == d,
+             "BatchDot: key block shape");
+  Tensor out({b, num_keys});
+  for (int64_t i = 0; i < b; ++i) {
+    const float* qrow = qv.data() + i * d;
+    for (int64_t k = 0; k < num_keys; ++k) {
+      const float* krow = kv.data() + (i * num_keys + k) * d;
+      float dot = 0.0f;
+      for (int64_t c = 0; c < d; ++c) dot += qrow[c] * krow[c];
+      out.at(i, k) = dot;
+    }
+  }
+  return MakeNode(std::move(out), {q, k_block},
+                  [b, d, num_keys](VarNode& self) {
+                    VarNode& pq = *self.parents[0];
+                    VarNode& pk = *self.parents[1];
+                    for (int64_t i = 0; i < b; ++i) {
+                      for (int64_t k = 0; k < num_keys; ++k) {
+                        const float gval = self.grad.at(i * num_keys + k);
+                        if (gval == 0.0f) continue;
+                        const int64_t krow = (i * num_keys + k) * d;
+                        if (pq.requires_grad) {
+                          Tensor& gq = pq.EnsureGrad();
+                          for (int64_t c = 0; c < d; ++c)
+                            gq.at(i * d + c) += gval * pk.value.at(krow + c);
+                        }
+                        if (pk.requires_grad) {
+                          Tensor& gk = pk.EnsureGrad();
+                          for (int64_t c = 0; c < d; ++c)
+                            gk.at(krow + c) += gval * pq.value.at(i * d + c);
+                        }
+                      }
+                    }
+                  });
+}
+
+Var BatchWeightedSum(const Var& w, const Var& v_block, int64_t num_keys) {
+  const Tensor& wv = w->value;
+  const Tensor& vv = v_block->value;
+  CheckOrDie(wv.rank() == 2 && vv.rank() == 2,
+             "BatchWeightedSum: rank-2 required");
+  const int64_t b = wv.shape()[0];
+  CheckOrDie(wv.shape()[1] == num_keys, "BatchWeightedSum: weight shape");
+  const int64_t d = vv.shape()[1];
+  CheckOrDie(vv.shape()[0] == b * num_keys, "BatchWeightedSum: value shape");
+  Tensor out({b, d});
+  for (int64_t i = 0; i < b; ++i) {
+    float* orow = out.data() + i * d;
+    for (int64_t k = 0; k < num_keys; ++k) {
+      const float weight = wv.at(i, k);
+      if (weight == 0.0f) continue;
+      const float* vrow = vv.data() + (i * num_keys + k) * d;
+      for (int64_t c = 0; c < d; ++c) orow[c] += weight * vrow[c];
+    }
+  }
+  return MakeNode(
+      std::move(out), {w, v_block}, [b, d, num_keys](VarNode& self) {
+        VarNode& pw = *self.parents[0];
+        VarNode& pv = *self.parents[1];
+        for (int64_t i = 0; i < b; ++i) {
+          const float* grow = self.grad.data() + i * d;
+          for (int64_t k = 0; k < num_keys; ++k) {
+            const int64_t vrow = (i * num_keys + k) * d;
+            if (pw.requires_grad) {
+              float dot = 0.0f;
+              for (int64_t c = 0; c < d; ++c)
+                dot += grow[c] * pv.value.at(vrow + c);
+              pw.EnsureGrad().at(i * num_keys + k) += dot;
+            }
+            if (pv.requires_grad) {
+              const float weight = pw.value.at(i * num_keys + k);
+              if (weight == 0.0f) continue;
+              Tensor& gv = pv.EnsureGrad();
+              for (int64_t c = 0; c < d; ++c)
+                gv.at(vrow + c) += weight * grow[c];
+            }
+          }
+        }
+      });
+}
+
+}  // namespace benchtemp::tensor

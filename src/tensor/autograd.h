@@ -1,0 +1,140 @@
+#ifndef BENCHTEMP_TENSOR_AUTOGRAD_H_
+#define BENCHTEMP_TENSOR_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace benchtemp::tensor {
+
+/// Reverse-mode automatic differentiation over `Tensor` values.
+///
+/// The engine is tape-free: each operation returns a `Var` (shared pointer to
+/// a `VarNode`) holding the forward value, links to its parents, and a
+/// closure that propagates the node's gradient into its parents. Calling
+/// `Backward(root)` topologically sorts the DAG reachable from `root` and
+/// runs the closures in reverse order. This mirrors the define-by-run model
+/// of the DL frameworks the original BenchTemp is built on, at CPU scale.
+struct VarNode {
+  Tensor value;
+  /// Accumulated gradient; lazily allocated to `value`'s shape on first use.
+  Tensor grad;
+  /// Whether gradients should flow to/through this node.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarNode>> parents;
+  /// Propagates `grad` into the parents' `grad` fields. Null for leaves.
+  std::function<void(VarNode&)> backward_fn;
+
+  /// Ensures `grad` is allocated (zero-filled) with `value`'s shape.
+  Tensor& EnsureGrad();
+};
+
+using Var = std::shared_ptr<VarNode>;
+
+/// Creates a leaf node that does not require gradients (an input).
+Var Constant(Tensor value);
+/// Creates a leaf node that requires gradients (a trainable parameter).
+Var Parameter(Tensor value);
+/// A gradient-stopped copy of `a`'s current value.
+Var Detach(const Var& a);
+
+/// Runs reverse-mode differentiation from `root`, which must be a scalar
+/// (size-1) tensor. Seeds the root gradient with 1.
+void Backward(const Var& root);
+
+/// Zeroes the gradient buffers of the given parameters.
+void ZeroGrad(const std::vector<Var>& params);
+
+// ---------------------------------------------------------------------------
+// Elementwise and broadcast arithmetic.
+// ---------------------------------------------------------------------------
+
+/// a + b. Supports equal shapes, and row-broadcast where b is [1, d] (or a
+/// rank-1 [d]) added to every row of a [n, d] tensor.
+Var Add(const Var& a, const Var& b);
+/// a - b, equal shapes only.
+Var Sub(const Var& a, const Var& b);
+/// Elementwise a * b. Supports equal shapes, row-broadcast [1, d] on b, and
+/// column-broadcast where b is [n, 1] scaling each row of a [n, d] tensor.
+Var Mul(const Var& a, const Var& b);
+/// a * s for a compile-time constant scalar s.
+Var ScalarMul(const Var& a, float s);
+/// a + s.
+Var ScalarAdd(const Var& a, float s);
+
+// ---------------------------------------------------------------------------
+// Linear algebra and shape ops.
+// ---------------------------------------------------------------------------
+
+/// Matrix product of a [n, k] and b [k, m] -> [n, m].
+Var MatMul(const Var& a, const Var& b);
+/// Transpose of a rank-2 tensor.
+Var Transpose(const Var& a);
+/// Concatenates rank-2 tensors along columns; all must share the row count.
+Var ConcatCols(const std::vector<Var>& parts);
+/// Concatenates rank-2 tensors along rows; all must share the column count.
+Var ConcatRows(const std::vector<Var>& parts);
+/// Columns [start, start+len) of a rank-2 tensor.
+Var SliceCols(const Var& a, int64_t start, int64_t len);
+/// Rows [start, start+len) of a rank-2 tensor.
+Var SliceRows(const Var& a, int64_t start, int64_t len);
+/// Reinterprets the value with a new shape of equal volume.
+Var Reshape(const Var& a, std::vector<int64_t> shape);
+/// Gathers rows of `table` ([N, d]) at `indices` -> [n, d]; the backward pass
+/// scatter-adds into the table (embedding lookup).
+Var GatherRows(const Var& table, const std::vector<int64_t>& indices);
+
+// ---------------------------------------------------------------------------
+// Nonlinearities.
+// ---------------------------------------------------------------------------
+
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+Var Exp(const Var& a);
+Var Cos(const Var& a);
+Var Sin(const Var& a);
+
+// ---------------------------------------------------------------------------
+// Reductions and losses.
+// ---------------------------------------------------------------------------
+
+/// Sum of all entries -> scalar [1].
+Var Sum(const Var& a);
+/// Mean of all entries -> scalar [1].
+Var Mean(const Var& a);
+/// Mean over rows of a [n, d] tensor -> [1, d].
+Var MeanRows(const Var& a);
+/// Row-wise softmax of a [n, d] tensor.
+Var SoftmaxRows(const Var& a);
+/// Row-wise softmax where masked-out entries (mask == 0) receive zero
+/// probability. Rows whose mask is entirely zero produce all-zero outputs.
+Var MaskedSoftmaxRows(const Var& a, const Tensor& mask);
+/// Numerically stable mean binary cross entropy with logits.
+/// `logits` has n entries (any shape), `targets` has matching size with
+/// values in {0, 1}. Returns a scalar.
+Var BceWithLogits(const Var& logits, const Tensor& targets);
+/// Mean softmax cross entropy for multi-class classification.
+/// `logits` is [n, C]; `labels[i]` in [0, C). Returns a scalar.
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int64_t>& labels);
+/// Mean squared error against a constant target. Returns a scalar.
+Var MseLoss(const Var& pred, const Tensor& target);
+
+// ---------------------------------------------------------------------------
+// Batched attention primitives.
+//
+// Attention over sampled temporal neighbors operates on a [B, K, D] block
+// stored flat as [B*K, D]. These fused primitives avoid per-row graph nodes.
+// ---------------------------------------------------------------------------
+
+/// scores[b, k] = dot(q[b, :], k_block[b*K + k, :]) -> [B, K].
+Var BatchDot(const Var& q, const Var& k_block, int64_t num_keys);
+/// out[b, :] = sum_k w[b, k] * v_block[b*K + k, :] -> [B, D].
+Var BatchWeightedSum(const Var& w, const Var& v_block, int64_t num_keys);
+
+}  // namespace benchtemp::tensor
+
+#endif  // BENCHTEMP_TENSOR_AUTOGRAD_H_

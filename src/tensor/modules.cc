@@ -1,0 +1,221 @@
+#include "tensor/modules.h"
+
+#include <cmath>
+
+namespace benchtemp::tensor {
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const Var& p : Parameters()) total += p->value.size();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Linear.
+// ---------------------------------------------------------------------------
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng& rng, bool bias)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  weight_ = tensor::Parameter(
+      Tensor::Uniform({in_dim, out_dim}, rng, -bound, bound));
+  if (bias) bias_ = tensor::Parameter(Tensor::Zeros({1, out_dim}));
+}
+
+Var Linear::Forward(const Var& x) const {
+  Var y = MatMul(x, weight_);
+  if (bias_ != nullptr) y = Add(y, bias_);
+  return y;
+}
+
+std::vector<Var> Linear::Parameters() const {
+  std::vector<Var> params = {weight_};
+  if (bias_ != nullptr) params.push_back(bias_);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Mlp.
+// ---------------------------------------------------------------------------
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng& rng) {
+  CheckOrDie(dims.size() >= 2, "Mlp: need at least input and output dims");
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+std::vector<Var> Mlp::Parameters() const {
+  std::vector<Var> params;
+  for (const Linear& layer : layers_) {
+    for (const Var& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// MergeLayer.
+// ---------------------------------------------------------------------------
+
+MergeLayer::MergeLayer(int64_t dim_a, int64_t dim_b, int64_t hidden,
+                       int64_t out, Rng& rng)
+    : fc1_(dim_a + dim_b, hidden, rng), fc2_(hidden, out, rng) {}
+
+Var MergeLayer::Forward(const Var& a, const Var& b) const {
+  Var joined = ConcatCols({a, b});
+  return fc2_.Forward(Relu(fc1_.Forward(joined)));
+}
+
+std::vector<Var> MergeLayer::Parameters() const {
+  std::vector<Var> params = fc1_.Parameters();
+  for (const Var& p : fc2_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// RnnCell.
+// ---------------------------------------------------------------------------
+
+RnnCell::RnnCell(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      input_map_(input_dim, hidden_dim, rng),
+      hidden_map_(hidden_dim, hidden_dim, rng, /*bias=*/false) {}
+
+Var RnnCell::Forward(const Var& x, const Var& h) const {
+  return Tanh(Add(input_map_.Forward(x), hidden_map_.Forward(h)));
+}
+
+std::vector<Var> RnnCell::Parameters() const {
+  std::vector<Var> params = input_map_.Parameters();
+  for (const Var& p : hidden_map_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// GruCell.
+// ---------------------------------------------------------------------------
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      update_x_(input_dim, hidden_dim, rng),
+      update_h_(hidden_dim, hidden_dim, rng, /*bias=*/false),
+      reset_x_(input_dim, hidden_dim, rng),
+      reset_h_(hidden_dim, hidden_dim, rng, /*bias=*/false),
+      cand_x_(input_dim, hidden_dim, rng),
+      cand_h_(hidden_dim, hidden_dim, rng, /*bias=*/false) {}
+
+Var GruCell::Forward(const Var& x, const Var& h) const {
+  Var z = Sigmoid(Add(update_x_.Forward(x), update_h_.Forward(h)));
+  Var r = Sigmoid(Add(reset_x_.Forward(x), reset_h_.Forward(h)));
+  Var n = Tanh(Add(cand_x_.Forward(x), cand_h_.Forward(Mul(r, h))));
+  // h' = (1 - z) * n + z * h.
+  Var one_minus_z = ScalarAdd(ScalarMul(z, -1.0f), 1.0f);
+  return Add(Mul(one_minus_z, n), Mul(z, h));
+}
+
+std::vector<Var> GruCell::Parameters() const {
+  std::vector<Var> params;
+  for (const Linear* layer :
+       {&update_x_, &update_h_, &reset_x_, &reset_h_, &cand_x_, &cand_h_}) {
+    for (const Var& p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// TimeEncoder.
+// ---------------------------------------------------------------------------
+
+TimeEncoder::TimeEncoder(int64_t dim, Rng& rng) : dim_(dim) {
+  (void)rng;
+  // Log-spaced frequency grid 1 / 10^(i * alpha), as in TGAT's functional
+  // time encoding; trainable afterwards.
+  Tensor freq({1, dim});
+  for (int64_t i = 0; i < dim; ++i) {
+    freq.at(i) = std::pow(10.0f, -4.0f * static_cast<float>(i) /
+                                      std::max<int64_t>(dim - 1, 1));
+  }
+  freq_ = tensor::Parameter(std::move(freq));
+  phase_ = tensor::Parameter(Tensor::Zeros({1, dim}));
+}
+
+Var TimeEncoder::Forward(const Var& dt) const {
+  CheckOrDie(dt->value.cols() == 1, "TimeEncoder: dt must be a column");
+  // [n, 1] x [1, dim] -> [n, dim]; then cos(dt * w + b).
+  Var scaled = MatMul(dt, freq_);
+  return Cos(Add(scaled, phase_));
+}
+
+Var TimeEncoder::Encode(const std::vector<float>& dt) const {
+  Tensor column({static_cast<int64_t>(dt.size()), 1});
+  for (size_t i = 0; i < dt.size(); ++i)
+    column.at(static_cast<int64_t>(i)) = dt[i];
+  return Forward(Constant(std::move(column)));
+}
+
+std::vector<Var> TimeEncoder::Parameters() const { return {freq_, phase_}; }
+
+// ---------------------------------------------------------------------------
+// MultiHeadAttention.
+// ---------------------------------------------------------------------------
+
+MultiHeadAttention::MultiHeadAttention(int64_t q_dim, int64_t kv_dim,
+                                       int64_t model_dim, int64_t num_heads,
+                                       Rng& rng)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      q_proj_(q_dim, model_dim, rng),
+      k_proj_(kv_dim, model_dim, rng),
+      v_proj_(kv_dim, model_dim, rng),
+      out_proj_(model_dim, model_dim, rng) {
+  CheckOrDie(model_dim % num_heads == 0,
+             "MultiHeadAttention: model_dim must divide by num_heads "
+             "(the paper's Formula (1) constraint)");
+}
+
+Var MultiHeadAttention::Forward(const Var& queries, const Var& keys,
+                                const Var& values, const Tensor& mask,
+                                int64_t num_keys) const {
+  const int64_t batch = queries->value.rows();
+  CheckOrDie(keys->value.rows() == batch * num_keys,
+             "MultiHeadAttention: key block shape");
+  CheckOrDie(mask.size() == batch * num_keys,
+             "MultiHeadAttention: mask shape");
+  Var q = q_proj_.Forward(queries);   // [B, model]
+  Var k = k_proj_.Forward(keys);      // [B*K, model]
+  Var v = v_proj_.Forward(values);    // [B*K, model]
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Var qh = SliceCols(q, h * head_dim_, head_dim_);
+    Var kh = SliceCols(k, h * head_dim_, head_dim_);
+    Var vh = SliceCols(v, h * head_dim_, head_dim_);
+    Var scores = ScalarMul(BatchDot(qh, kh, num_keys), scale);  // [B, K]
+    Var weights = MaskedSoftmaxRows(scores, mask);
+    head_outputs.push_back(BatchWeightedSum(weights, vh, num_keys));
+  }
+  Var merged = num_heads_ == 1 ? head_outputs[0] : ConcatCols(head_outputs);
+  return out_proj_.Forward(merged);
+}
+
+std::vector<Var> MultiHeadAttention::Parameters() const {
+  std::vector<Var> params;
+  for (const Linear* layer : {&q_proj_, &k_proj_, &v_proj_, &out_proj_}) {
+    for (const Var& p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace benchtemp::tensor

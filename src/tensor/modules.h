@@ -1,0 +1,154 @@
+#ifndef BENCHTEMP_TENSOR_MODULES_H_
+#define BENCHTEMP_TENSOR_MODULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace benchtemp::tensor {
+
+/// Base class for trainable components. A module owns `Parameter` leaves and
+/// exposes them for the optimizer; composition is by membership, matching
+/// the layer/module idiom of the frameworks the paper's models ship in.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// All trainable leaves of this module (including those of submodules).
+  virtual std::vector<Var> Parameters() const = 0;
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const;
+};
+
+/// Affine map y = x W + b with Xavier-uniform initialization.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, Rng& rng, bool bias = true);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  Var weight_;
+  Var bias_;  // null when bias is disabled
+};
+
+/// Multi-layer perceptron with ReLU between layers (none after the last).
+class Mlp : public Module {
+ public:
+  /// `dims` lists layer widths, e.g. {in, hidden, out}.
+  Mlp(const std::vector<int64_t>& dims, Rng& rng);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+/// The two-layer scorer used by TGN-family models to merge a pair of node
+/// embeddings into an edge logit: h = ReLU([a ; b] W1 + b1); y = h W2 + b2.
+class MergeLayer : public Module {
+ public:
+  MergeLayer(int64_t dim_a, int64_t dim_b, int64_t hidden, int64_t out,
+             Rng& rng);
+
+  Var Forward(const Var& a, const Var& b) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Vanilla RNN cell: h' = tanh(x Wx + h Wh + b).
+class RnnCell : public Module {
+ public:
+  RnnCell(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  Var Forward(const Var& x, const Var& h) const;
+  std::vector<Var> Parameters() const override;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear input_map_;
+  Linear hidden_map_;
+};
+
+/// Gated recurrent unit cell (the TGN memory updater).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  Var Forward(const Var& x, const Var& h) const;
+  std::vector<Var> Parameters() const override;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear update_x_, update_h_;
+  Linear reset_x_, reset_h_;
+  Linear cand_x_, cand_h_;
+};
+
+/// Bochner functional time encoding phi(dt) = cos(dt * w + b), the encoding
+/// shared by TGAT, TGN, CAWN and NeurTW. Frequencies are initialized on a
+/// log-spaced grid (as in TGAT) and trainable.
+class TimeEncoder : public Module {
+ public:
+  TimeEncoder(int64_t dim, Rng& rng);
+
+  /// `dt` is a [n, 1] column of time deltas; returns [n, dim].
+  Var Forward(const Var& dt) const;
+  /// Convenience: encodes a raw vector of deltas.
+  Var Encode(const std::vector<float>& dt) const;
+  std::vector<Var> Parameters() const override;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t dim_;
+  Var freq_;  // [1, dim]
+  Var phase_;  // [1, dim]
+};
+
+/// Multi-head scaled dot-product attention over per-query neighbor blocks.
+///
+/// Queries are [B, q_dim]; each query attends over `num_keys` keys/values
+/// stored flat as [B*K, kv_dim]. `mask` ([B, K]) zeroes out padding
+/// neighbors. Output is [B, out_dim] (the concatenated heads projected).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t q_dim, int64_t kv_dim, int64_t model_dim,
+                     int64_t num_heads, Rng& rng);
+
+  Var Forward(const Var& queries, const Var& keys, const Var& values,
+              const Tensor& mask, int64_t num_keys) const;
+  std::vector<Var> Parameters() const override;
+
+  int64_t model_dim() const { return model_dim_; }
+
+ private:
+  int64_t model_dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+};
+
+}  // namespace benchtemp::tensor
+
+#endif  // BENCHTEMP_TENSOR_MODULES_H_

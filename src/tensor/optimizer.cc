@@ -1,0 +1,84 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace benchtemp::tensor {
+
+void Optimizer::ZeroGrad() { tensor::ZeroGrad(params_); }
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    VarNode& p = *params_[i];
+    if (p.grad.size() != p.value.size()) continue;  // never touched
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < p.value.size(); ++j) {
+      const float g = p.grad.at(j);
+      m.at(j) = beta1_ * m.at(j) + (1.0f - beta1_) * g;
+      v.at(j) = beta2_ * v.at(j) + (1.0f - beta2_) * g * g;
+      const float m_hat = m.at(j) / bias1;
+      const float v_hat = v.at(j) / bias2;
+      p.value.at(j) -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    VarNode& p = *params_[i];
+    if (p.grad.size() != p.value.size()) continue;
+    for (int64_t j = 0; j < p.value.size(); ++j) {
+      float update = p.grad.at(j);
+      if (momentum_ != 0.0f) {
+        velocity_[i].at(j) = momentum_ * velocity_[i].at(j) + update;
+        update = velocity_[i].at(j);
+      }
+      p.value.at(j) -= lr_ * update;
+    }
+  }
+}
+
+void ClipGradNorm(const std::vector<Var>& params, float max_norm) {
+  double total = 0.0;
+  for (const Var& p : params) {
+    if (p->grad.size() != p->value.size()) continue;
+    for (int64_t j = 0; j < p->grad.size(); ++j) {
+      total += static_cast<double>(p->grad.at(j)) * p->grad.at(j);
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = max_norm / static_cast<float>(norm);
+  for (const Var& p : params) {
+    if (p->grad.size() != p->value.size()) continue;
+    p->grad.Scale(scale);
+  }
+}
+
+}  // namespace benchtemp::tensor

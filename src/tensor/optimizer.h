@@ -1,0 +1,66 @@
+#ifndef BENCHTEMP_TENSOR_OPTIMIZER_H_
+#define BENCHTEMP_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "tensor/tensor.h"
+
+namespace benchtemp::tensor {
+
+/// First-order optimizer interface over a fixed parameter set.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using the parameters' accumulated gradients.
+  virtual void Step() = 0;
+  /// Clears the parameters' gradient buffers.
+  void ZeroGrad();
+
+ protected:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  std::vector<Var> params_;
+};
+
+/// Adam (Kingma & Ba, 2014) — the optimizer the paper trains every model
+/// with (lr 1e-4, default betas/eps).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(std::vector<Var> params, float lr = 1e-4f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Plain SGD with optional momentum; used in tests and ablations.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(std::vector<Var> params, float lr = 1e-2f,
+               float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Clips the global L2 norm of the parameters' gradients to `max_norm`.
+void ClipGradNorm(const std::vector<Var>& params, float max_norm);
+
+}  // namespace benchtemp::tensor
+
+#endif  // BENCHTEMP_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,30 @@
+#ifndef BENCHTEMP_TENSOR_SERIALIZE_H_
+#define BENCHTEMP_TENSOR_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace benchtemp::tensor {
+
+/// Binary checkpointing of a parameter set (e.g. `model->Parameters()`).
+///
+/// Format: magic "BTCP", uint64 parameter count, then per parameter a
+/// uint64 rank, uint64 dims, and the float32 payload. Loading requires the
+/// destination parameters to already have the same shapes (the model is
+/// constructed first, then restored), which catches architecture drift.
+///
+/// Note: this checkpoints *parameters* only. The temporal state (memory
+/// tables, caches) is intentionally excluded — it is replayable from the
+/// event stream, and the pipeline rebuilds it via state replay.
+bool SaveParameters(const std::vector<Var>& params, const std::string& path);
+
+/// Restores parameter values in order. Returns false on I/O failure, count
+/// mismatch, or any shape mismatch (in which case no parameter is
+/// modified).
+bool LoadParameters(const std::string& path, const std::vector<Var>& params);
+
+}  // namespace benchtemp::tensor
+
+#endif  // BENCHTEMP_TENSOR_SERIALIZE_H_

@@ -1,0 +1,107 @@
+#include "tensor/tensor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "tensor/random.h"
+
+namespace benchtemp::tensor {
+
+namespace {
+
+int64_t Volume(const std::vector<int64_t>& shape) {
+  int64_t v = 1;
+  for (int64_t d : shape) v *= d;
+  return v;
+}
+
+}  // namespace
+
+void CheckOrDie(bool condition, const char* message) {
+  if (!condition) {
+    std::fprintf(stderr, "benchtemp check failed: %s\n", message);
+    std::abort();
+  }
+}
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  for (int64_t d : shape_) CheckOrDie(d >= 0, "negative tensor dimension");
+  data_.assign(static_cast<size_t>(Volume(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) t.at(i) = rng.Normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                       float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) t.at(i) = rng.UniformReal(lo, hi);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> data) {
+  CheckOrDie(Volume(shape) == static_cast<int64_t>(data.size()),
+             "FromVector: payload size does not match shape volume");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+int64_t Tensor::rows() const {
+  if (shape_.empty()) return 0;
+  return shape_[0];
+}
+
+int64_t Tensor::cols() const {
+  if (shape_.size() < 2) return shape_.empty() ? 0 : 1;
+  int64_t c = 1;
+  for (size_t i = 1; i < shape_.size(); ++i) c *= shape_[i];
+  return c;
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  CheckOrDie(size() == other.size(), "AddInPlace: size mismatch");
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0; i < size(); ++i) dst[i] += src[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& x : data_) x *= s;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace benchtemp::tensor

@@ -1,0 +1,91 @@
+#ifndef BENCHTEMP_TENSOR_TENSOR_H_
+#define BENCHTEMP_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace benchtemp::tensor {
+
+class Rng;
+
+/// A dense row-major float32 tensor with value semantics (copies are deep).
+///
+/// The library only needs rank-1 and rank-2 tensors; higher ranks are
+/// represented by flattening into rank-2 (e.g. a [B, K, D] neighbor block is
+/// stored as [B*K, D]).
+class Tensor {
+ public:
+  /// An empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// A zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Factory helpers.
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// Normal(0, stddev) entries.
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+  /// Uniform [lo, hi) entries.
+  static Tensor Uniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                        float hi);
+  /// Wraps an explicit payload; `data.size()` must equal the shape volume.
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> data);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Number of rows / columns when viewed as a matrix. A rank-1 tensor of
+  /// length n is viewed as [n, 1].
+  int64_t rows() const;
+  int64_t cols() const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  /// Matrix-style indexing; only valid for rank-2 tensors.
+  float& at(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+  /// Adds `other` elementwise into this tensor. Shapes must match.
+  void AddInPlace(const Tensor& other);
+  /// Multiplies every entry by `s`.
+  void Scale(float s);
+
+  /// Returns true if shapes are identical.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// "[2, 3]"-style shape string for error messages.
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Aborts with a message if `condition` is false. Used for programmer errors
+/// (shape mismatches etc.); the library does not throw exceptions.
+void CheckOrDie(bool condition, const char* message);
+
+}  // namespace benchtemp::tensor
+
+#endif  // BENCHTEMP_TENSOR_TENSOR_H_

@@ -1,0 +1,115 @@
+// Tests of the bench-harness helpers (bench/bench_common.h): environment
+// knobs, dataset filtering, and the per-dataset model quirks the catalog
+// drives (TGAT's UNTrade window, NeurTW's overflow-safe bias).
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+
+namespace benchtemp::bench {
+namespace {
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(BenchHarnessTest, EnvIntFallsBack) {
+  unsetenv("BENCHTEMP_TEST_KNOB");
+  EXPECT_EQ(EnvInt("BENCHTEMP_TEST_KNOB", 7), 7);
+  EnvGuard guard("BENCHTEMP_TEST_KNOB", "42");
+  EXPECT_EQ(EnvInt("BENCHTEMP_TEST_KNOB", 7), 42);
+}
+
+TEST(BenchHarnessTest, QuickModeShrinksGrid) {
+  EnvGuard guard("BENCHTEMP_QUICK", "1");
+  const GridConfig grid = DefaultGrid();
+  EXPECT_TRUE(grid.quick);
+  EXPECT_EQ(grid.runs, 1);
+  EXPECT_LT(grid.feature_dim, 48);
+}
+
+TEST(BenchHarnessTest, DatasetFilterSelectsByName) {
+  EnvGuard guard("BENCHTEMP_DATASETS", "Reddit,UNVote");
+  const auto selected = SelectedDatasets(datagen::MainDatasets());
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].name, "Reddit");
+  EXPECT_EQ(selected[1].name, "UNVote");
+}
+
+TEST(BenchHarnessTest, EmptyFilterSelectsEverything) {
+  unsetenv("BENCHTEMP_DATASETS");
+  EXPECT_EQ(SelectedDatasets(datagen::MainDatasets()).size(), 15u);
+}
+
+TEST(BenchHarnessTest, TgatInheritsDatasetWindow) {
+  const GridConfig grid = DefaultGrid();
+  const datagen::DatasetSpec* untrade = datagen::FindDataset("UNTrade");
+  const models::ModelConfig config =
+      ModelConfigFor(models::ModelKind::kTgat, *untrade, grid);
+  EXPECT_GT(config.tgat_time_window, 0.0);
+  const datagen::DatasetSpec* reddit = datagen::FindDataset("Reddit");
+  EXPECT_EQ(ModelConfigFor(models::ModelKind::kTgat, *reddit, grid)
+                .tgat_time_window,
+            0.0);
+}
+
+TEST(BenchHarnessTest, NeurTwUsesSafeBiasOnCoarseDatasets) {
+  const GridConfig grid = DefaultGrid();
+  const datagen::DatasetSpec* canparl = datagen::FindDataset("CanParl");
+  EXPECT_EQ(ModelConfigFor(models::ModelKind::kNeurTw, *canparl, grid)
+                .walk_bias,
+            graph::WalkBias::kLinearSafe);
+  const datagen::DatasetSpec* reddit = datagen::FindDataset("Reddit");
+  EXPECT_EQ(
+      ModelConfigFor(models::ModelKind::kNeurTw, *reddit, grid).walk_bias,
+      graph::WalkBias::kExponential);
+  // CAWN keeps the exponential bias everywhere (only NeurTW got the paper's
+  // Eq. 2/3 patch).
+  EXPECT_EQ(
+      ModelConfigFor(models::ModelKind::kCawn, *canparl, grid).walk_bias,
+      graph::WalkBias::kExponential);
+}
+
+TEST(BenchHarnessTest, WalkModelsGetTighterEpochBudget) {
+  const GridConfig grid = DefaultGrid();
+  const core::TrainConfig fast =
+      TrainConfigFor(models::ModelKind::kTgn, grid, 1);
+  const core::TrainConfig walk =
+      TrainConfigFor(models::ModelKind::kCawn, grid, 1);
+  EXPECT_GE(fast.max_epochs, walk.max_epochs);
+  EXPECT_TRUE(IsWalkModel(models::ModelKind::kCawn));
+  EXPECT_TRUE(IsWalkModel(models::ModelKind::kNeurTw));
+  EXPECT_FALSE(IsWalkModel(models::ModelKind::kNat));
+}
+
+TEST(BenchHarnessTest, LoadBenchmarkInitializesFeatures) {
+  GridConfig grid = DefaultGrid();
+  grid.feature_dim = 24;
+  const datagen::DatasetSpec* spec = datagen::FindDataset("USLegis");
+  graph::TemporalGraph g = LoadBenchmark(*spec, grid);
+  EXPECT_EQ(g.node_feature_dim(), 24);
+}
+
+TEST(BenchHarnessTest, AggregatedLpPropagatesAnnotation) {
+  GridConfig grid = DefaultGrid();
+  grid.quick = true;
+  grid.runs = 1;
+  grid.max_epochs_fast = 1;
+  const datagen::DatasetSpec* untrade = datagen::FindDataset("UNTrade");
+  graph::TemporalGraph g = LoadBenchmark(*untrade, grid);
+  const AggregatedLp agg =
+      RunAggregatedLp(*untrade, g, models::ModelKind::kTgat, grid);
+  EXPECT_EQ(agg.annotation, "*");  // the paper's UNTrade runtime error
+}
+
+}  // namespace
+}  // namespace benchtemp::bench

@@ -1,0 +1,147 @@
+#include "graph/temporal_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/neighbor_finder.h"
+
+namespace benchtemp::graph {
+namespace {
+
+TemporalGraph MakeLineGraph() {
+  // Events: (0,1,@1), (1,2,@2), (2,3,@3), (0,2,@4).
+  TemporalGraph g;
+  g.AddInteraction(0, 1, 1.0);
+  g.AddInteraction(1, 2, 2.0);
+  g.AddInteraction(2, 3, 3.0);
+  g.AddInteraction(0, 2, 4.0);
+  return g;
+}
+
+TEST(TemporalGraphTest, BasicAccessors) {
+  TemporalGraph g = MakeLineGraph();
+  EXPECT_EQ(g.num_events(), 4);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.event(1).src, 1);
+  EXPECT_EQ(g.event(1).edge_idx, 1);
+  EXPECT_TRUE(g.IsChronological());
+}
+
+TEST(TemporalGraphTest, SortByTime) {
+  TemporalGraph g;
+  g.AddInteraction(0, 1, 5.0);
+  g.AddInteraction(1, 2, 1.0);
+  EXPECT_FALSE(g.IsChronological());
+  g.SortByTime();
+  EXPECT_TRUE(g.IsChronological());
+  // edge_idx stays attached to its event through the sort.
+  EXPECT_EQ(g.event(0).edge_idx, 1);
+}
+
+TEST(TemporalGraphTest, FeatureInitialization) {
+  TemporalGraph g = MakeLineGraph();
+  g.InitNodeFeatures(16);
+  EXPECT_EQ(g.node_feature_dim(), 16);
+  EXPECT_EQ(g.node_features().rows(), 4);
+  tensor::Tensor edge_features({4, 3});
+  g.SetEdgeFeatures(edge_features);
+  EXPECT_EQ(g.edge_feature_dim(), 3);
+}
+
+TEST(TemporalGraphTest, Labels) {
+  TemporalGraph g;
+  g.AddInteraction(0, 1, 1.0, 0);
+  g.AddInteraction(0, 1, 2.0, 1);
+  EXPECT_TRUE(g.HasLabels());
+  EXPECT_EQ(g.NumLabelClasses(), 2);
+  TemporalGraph unlabeled = MakeLineGraph();
+  EXPECT_FALSE(unlabeled.HasLabels());
+}
+
+TEST(TemporalGraphTest, StatsReuseAndDensity) {
+  TemporalGraph g;
+  g.AddInteraction(0, 1, 1.0);
+  g.AddInteraction(0, 1, 2.0);
+  g.AddInteraction(0, 1, 3.0);
+  g.AddInteraction(1, 0, 4.0);
+  const auto stats = g.ComputeStats();
+  EXPECT_EQ(stats.num_edges, 4);
+  EXPECT_EQ(stats.distinct_edges, 2);  // (0,1) and (1,0)
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 2.0);
+  EXPECT_NEAR(stats.edge_reuse_ratio, 0.5, 1e-9);
+  EXPECT_EQ(stats.distinct_timestamps, 4);
+  EXPECT_DOUBLE_EQ(stats.time_span, 3.0);
+}
+
+TEST(NeighborFinderTest, BeforeIsStrict) {
+  TemporalGraph g = MakeLineGraph();
+  NeighborFinder finder(g);
+  int64_t count = 0;
+  // Node 2 at t=3: history is (1,@2) only; the @3 event is not yet visible.
+  const TemporalNeighbor* history = finder.Before(2, 3.0, &count);
+  ASSERT_EQ(count, 1);
+  EXPECT_EQ(history[0].neighbor, 1);
+  // At t=3.5 the @3 event is visible.
+  finder.Before(2, 3.5, &count);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(NeighborFinderTest, Undirected) {
+  TemporalGraph g = MakeLineGraph();
+  NeighborFinder finder(g);
+  int64_t count = 0;
+  const TemporalNeighbor* history = finder.Before(1, 10.0, &count);
+  ASSERT_EQ(count, 2);  // events (0,1) and (1,2)
+  EXPECT_EQ(history[0].neighbor, 0);
+  EXPECT_EQ(history[1].neighbor, 2);
+}
+
+TEST(NeighborFinderTest, LimitPrefix) {
+  TemporalGraph g = MakeLineGraph();
+  NeighborFinder finder(g, /*limit=*/2);  // only the first two events
+  int64_t count = 0;
+  finder.Before(2, 10.0, &count);
+  EXPECT_EQ(count, 1);  // (1,2,@2) only; later events excluded
+}
+
+TEST(NeighborFinderTest, EventSubsetConstructor) {
+  TemporalGraph g = MakeLineGraph();
+  NeighborFinder finder(g, std::vector<int64_t>{0, 3});
+  int64_t count = 0;
+  finder.Before(2, 10.0, &count);
+  EXPECT_EQ(count, 1);  // only event 3 = (0,2,@4)
+  finder.Before(0, 10.0, &count);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(NeighborFinderTest, SampleUniformRespectsTime) {
+  TemporalGraph g = MakeLineGraph();
+  NeighborFinder finder(g);
+  tensor::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto sampled = finder.SampleUniform(2, 3.5, 4, rng);
+    ASSERT_EQ(sampled.size(), 4u);
+    for (const auto& nbr : sampled) EXPECT_LT(nbr.ts, 3.5);
+  }
+  EXPECT_TRUE(finder.SampleUniform(3, 3.0, 4, rng).empty());  // no history
+}
+
+TEST(NeighborFinderTest, MostRecentOrderedAndCapped) {
+  TemporalGraph g;
+  for (int i = 0; i < 10; ++i) g.AddInteraction(0, 1 + i % 3, i);
+  NeighborFinder finder(g);
+  const auto recent = finder.MostRecent(0, 100.0, 3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_DOUBLE_EQ(recent[0].ts, 7.0);
+  EXPECT_DOUBLE_EQ(recent[2].ts, 9.0);
+  EXPECT_EQ(finder.MostRecent(0, 1.5, 5).size(), 2u);
+}
+
+TEST(NeighborFinderTest, DegreeBefore) {
+  TemporalGraph g = MakeLineGraph();
+  NeighborFinder finder(g);
+  EXPECT_EQ(finder.DegreeBefore(0, 0.5), 0);
+  EXPECT_EQ(finder.DegreeBefore(0, 10.0), 2);
+}
+
+}  // namespace
+}  // namespace benchtemp::graph

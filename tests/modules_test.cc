@@ -1,0 +1,188 @@
+#include "tensor/modules.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/optimizer.h"
+
+namespace benchtemp::tensor {
+namespace {
+
+TEST(ModulesTest, LinearShapesAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Var x = Constant(Tensor::Randn({5, 4}, rng));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y->value.shape(), (std::vector<int64_t>{5, 3}));
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  Linear no_bias(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(no_bias.Parameters().size(), 1u);
+}
+
+TEST(ModulesTest, MlpLearnsLinearMap) {
+  Rng rng(2);
+  Mlp mlp({2, 8, 1}, rng);
+  Adam opt(mlp.Parameters(), 5e-2f);
+  // Fit y = x0 - 2*x1.
+  Tensor x_data = Tensor::Randn({64, 2}, rng);
+  Tensor y_data({64, 1});
+  for (int64_t i = 0; i < 64; ++i) {
+    y_data.at(i) = x_data.at(i, 0) - 2.0f * x_data.at(i, 1);
+  }
+  Var x = Constant(x_data);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    Var loss = MseLoss(mlp.Forward(x), y_data);
+    if (step == 0) first_loss = loss->value.at(0);
+    last_loss = loss->value.at(0);
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, 0.05f * first_loss);
+}
+
+TEST(ModulesTest, GruCellStaysBoundedAndDiffers) {
+  Rng rng(3);
+  GruCell gru(4, 6, rng);
+  Var x = Constant(Tensor::Randn({3, 4}, rng));
+  Var h = Constant(Tensor::Randn({3, 6}, rng, 0.5f));
+  Var out = gru.Forward(x, h);
+  EXPECT_EQ(out->value.shape(), (std::vector<int64_t>{3, 6}));
+  bool changed = false;
+  for (int64_t i = 0; i < out->value.size(); ++i) {
+    EXPECT_LT(std::fabs(out->value.at(i)), 1.5f);
+    if (std::fabs(out->value.at(i) - h->value.at(i)) > 1e-6f) changed = true;
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(gru.Parameters().size(), 9u);  // 3 gates x (Wx+b, Wh)
+}
+
+TEST(ModulesTest, RnnCellOutputsInTanhRange) {
+  Rng rng(4);
+  RnnCell rnn(4, 5, rng);
+  Var out = rnn.Forward(Constant(Tensor::Randn({2, 4}, rng)),
+                        Constant(Tensor::Randn({2, 5}, rng)));
+  for (int64_t i = 0; i < out->value.size(); ++i) {
+    EXPECT_LE(std::fabs(out->value.at(i)), 1.0f);
+  }
+}
+
+TEST(ModulesTest, TimeEncoderRangeAndZeroDelta) {
+  Rng rng(5);
+  TimeEncoder encoder(8, rng);
+  Var enc = encoder.Encode({0.0f, 1.0f, 100.0f});
+  EXPECT_EQ(enc->value.shape(), (std::vector<int64_t>{3, 8}));
+  // cos(0 * w + 0) == 1 for every frequency.
+  for (int64_t c = 0; c < 8; ++c) EXPECT_NEAR(enc->value.at(0, c), 1.0f, 1e-5f);
+  for (int64_t i = 0; i < enc->value.size(); ++i) {
+    EXPECT_LE(std::fabs(enc->value.at(i)), 1.0f + 1e-6f);
+  }
+}
+
+TEST(ModulesTest, TimeEncoderDistinguishesDeltas) {
+  Rng rng(6);
+  TimeEncoder encoder(8, rng);
+  Var enc = encoder.Encode({1.0f, 50.0f});
+  float diff = 0.0f;
+  for (int64_t c = 0; c < 8; ++c) {
+    diff += std::fabs(enc->value.at(0, c) - enc->value.at(1, c));
+  }
+  EXPECT_GT(diff, 0.1f);
+}
+
+TEST(ModulesTest, MergeLayerShape) {
+  Rng rng(7);
+  MergeLayer merge(4, 6, 8, 1, rng);
+  Var out = merge.Forward(Constant(Tensor::Randn({3, 4}, rng)),
+                          Constant(Tensor::Randn({3, 6}, rng)));
+  EXPECT_EQ(out->value.shape(), (std::vector<int64_t>{3, 1}));
+}
+
+TEST(ModulesTest, AttentionShapeAndMasking) {
+  Rng rng(8);
+  const int64_t k = 4;
+  MultiHeadAttention attn(6, 5, 8, 2, rng);
+  Var q = Constant(Tensor::Randn({3, 6}, rng));
+  Var kv = Constant(Tensor::Randn({3 * k, 5}, rng));
+  Tensor mask({3, k});
+  mask.Fill(1.0f);
+  Var out = attn.Forward(q, kv, kv, mask, k);
+  EXPECT_EQ(out->value.shape(), (std::vector<int64_t>{3, 8}));
+}
+
+TEST(ModulesTest, AttentionIgnoresMaskedKeys) {
+  Rng rng(9);
+  const int64_t k = 3;
+  MultiHeadAttention attn(4, 4, 8, 1, rng);
+  Var q = Constant(Tensor::Randn({1, 4}, rng));
+  Tensor kv_data = Tensor::Randn({k, 4}, rng);
+  // Run once with key 2 masked, then change key 2 wildly: output must not
+  // move.
+  Tensor mask = Tensor::FromVector({1, k}, {1, 1, 0});
+  Var out1 = attn.Forward(q, Constant(kv_data), Constant(kv_data), mask, k);
+  for (int64_t c = 0; c < 4; ++c) kv_data.at(2, c) = 1000.0f;
+  Var out2 = attn.Forward(q, Constant(kv_data), Constant(kv_data), mask, k);
+  for (int64_t i = 0; i < out1->value.size(); ++i) {
+    EXPECT_NEAR(out1->value.at(i), out2->value.at(i), 1e-4f);
+  }
+}
+
+TEST(ModulesTest, AttentionHeadConstraintEnforced) {
+  Rng rng(10);
+  EXPECT_DEATH(MultiHeadAttention(4, 4, 9, 2, rng), "num_heads");
+}
+
+TEST(ModulesTest, ParameterCount) {
+  Rng rng(11);
+  Linear layer(3, 2, rng);
+  EXPECT_EQ(layer.ParameterCount(), 3 * 2 + 2);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  Var x = Parameter(Tensor::FromVector({2}, {5.0f, -3.0f}));
+  Adam opt({x}, 0.1f);
+  for (int step = 0; step < 500; ++step) {
+    Var loss = Sum(Mul(x, x));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(x->value.at(0), 0.0f, 0.05f);
+  EXPECT_NEAR(x->value.at(1), 0.0f, 0.05f);
+}
+
+TEST(OptimizerTest, SgdDescends) {
+  Var x = Parameter(Tensor::FromVector({1}, {4.0f}));
+  Sgd opt({x}, 0.1f, 0.9f);
+  float prev = 1e9f;
+  for (int step = 0; step < 50; ++step) {
+    Var loss = Sum(Mul(x, x));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+    prev = loss->value.at(0);
+  }
+  EXPECT_LT(prev, 0.5f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Var x = Parameter(Tensor::FromVector({2}, {3.0f, 4.0f}));
+  Var loss = Sum(Mul(x, x));  // grad = (6, 8), norm 10
+  Backward(loss);
+  ClipGradNorm({x}, 5.0f);
+  EXPECT_NEAR(x->grad.at(0), 3.0f, 1e-4f);
+  EXPECT_NEAR(x->grad.at(1), 4.0f, 1e-4f);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpBelowThreshold) {
+  Var x = Parameter(Tensor::FromVector({2}, {0.3f, 0.4f}));
+  Var loss = Sum(Mul(x, x));  // grad norm 1
+  Backward(loss);
+  ClipGradNorm({x}, 5.0f);
+  EXPECT_NEAR(x->grad.at(0), 0.6f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace benchtemp::tensor
