@@ -24,6 +24,7 @@
 #include "datagen/catalog.h"
 #include "graph/walks.h"
 #include "models/factory.h"
+#include "runtime/thread_pool.h"
 
 namespace benchtemp::bench {
 
@@ -135,6 +136,22 @@ inline AggregatedLp RunAggregatedLp(const datagen::DatasetSpec& spec,
     agg.ap[s] = core::Summarize(ap[s]);
   }
   return agg;
+}
+
+/// Runs `fn(kinds[i], i)` for every model of a sweep concurrently on the
+/// runtime thread pool (one task per model; each job's nested kernel
+/// parallelism degrades to serial inside its worker). Jobs must write only
+/// their own slot `i` of any result buffer — push to the leaderboard
+/// serially afterwards so row order stays deterministic. Thread-safe
+/// shared sinks (Leaderboard::Add) may also be used directly.
+template <typename Fn>
+inline void ForEachModelParallel(const std::vector<models::ModelKind>& kinds,
+                                 Fn&& fn) {
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(kinds.size()), /*grain=*/1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(kinds[static_cast<size_t>(i)], i);
+      });
 }
 
 /// Adds one aggregated result to a leaderboard under all four settings.

@@ -14,7 +14,8 @@ int main() {
   std::printf("%-12s %22s %22s %22s %22s\n", "Dataset", "Transductive",
               "Inductive", "New-Old", "New-New");
   std::printf("=== with Table 14 efficiency appended per row ===\n");
-  for (const datagen::DatasetSpec& spec : bench::SelectedDatasets(datagen::MainDatasets())) {
+  for (const datagen::DatasetSpec& spec :
+       bench::SelectedDatasets(datagen::MainDatasets())) {
     graph::TemporalGraph g = bench::LoadBenchmark(spec, grid);
     const bench::AggregatedLp agg =
         bench::RunAggregatedLp(spec, g, models::ModelKind::kTemp, grid);

@@ -23,16 +23,27 @@ int main() {
   };
   std::vector<std::vector<EffCell>> efficiency;
 
-  for (const datagen::DatasetSpec& spec : bench::SelectedDatasets(datagen::NewDatasets())) {
+  const std::vector<models::ModelKind> kinds = models::PaperModels();
+  for (const datagen::DatasetSpec& spec :
+       bench::SelectedDatasets(datagen::NewDatasets())) {
     dataset_names.push_back(spec.name);
     graph::TemporalGraph g = bench::LoadBenchmark(spec, grid);
-    efficiency.emplace_back();
-    for (models::ModelKind kind : models::PaperModels()) {
-      const bench::AggregatedLp agg =
+    // Per-model jobs run concurrently on the runtime pool; each fills its
+    // own slot and the leaderboard rows are pushed serially afterwards.
+    std::vector<bench::AggregatedLp> aggs(kinds.size());
+    bench::ForEachModelParallel(kinds, [&](models::ModelKind kind,
+                                           int64_t slot) {
+      aggs[static_cast<size_t>(slot)] =
           bench::RunAggregatedLp(spec, g, kind, grid);
-      bench::PushToLeaderboard(&auc_board, models::ModelKindName(kind),
+      std::fprintf(stderr, "done %s / %s\n", spec.name.c_str(),
+                   models::ModelKindName(kind));
+    });
+    efficiency.emplace_back();
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      const bench::AggregatedLp& agg = aggs[i];
+      bench::PushToLeaderboard(&auc_board, models::ModelKindName(kinds[i]),
                                spec.name, agg, "AUC");
-      bench::PushToLeaderboard(&ap_board, models::ModelKindName(kind),
+      bench::PushToLeaderboard(&ap_board, models::ModelKindName(kinds[i]),
                                spec.name, agg, "AP");
       char buf[64];
       EffCell cell;
@@ -47,8 +58,6 @@ int main() {
                         (1024.0 * 1024.0));
       cell.state = buf;
       efficiency.back().push_back(cell);
-      std::fprintf(stderr, "done %s / %s\n", spec.name.c_str(),
-                   models::ModelKindName(kind));
     }
   }
 

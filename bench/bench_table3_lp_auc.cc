@@ -22,18 +22,27 @@ int main() {
   for (models::ModelKind kind : models::PaperModels()) {
     model_names.push_back(models::ModelKindName(kind));
   }
-  for (const datagen::DatasetSpec& spec : bench::SelectedDatasets(datagen::MainDatasets())) {
+  const std::vector<models::ModelKind> kinds = models::PaperModels();
+  for (const datagen::DatasetSpec& spec :
+       bench::SelectedDatasets(datagen::MainDatasets())) {
     dataset_names.push_back(spec.name);
     graph::TemporalGraph g = bench::LoadBenchmark(spec, grid);
-    for (models::ModelKind kind : models::PaperModels()) {
-      const bench::AggregatedLp agg =
+    // Models of one dataset train concurrently (runtime pool); results land
+    // in per-model slots and are pushed serially for deterministic order.
+    std::vector<bench::AggregatedLp> aggs(kinds.size());
+    bench::ForEachModelParallel(kinds, [&](models::ModelKind kind,
+                                           int64_t slot) {
+      aggs[static_cast<size_t>(slot)] =
           bench::RunAggregatedLp(spec, g, kind, grid);
-      bench::PushToLeaderboard(&auc_board, models::ModelKindName(kind),
-                               spec.name, agg, "AUC");
-      bench::PushToLeaderboard(&ap_board, models::ModelKindName(kind),
-                               spec.name, agg, "AP");
       std::fprintf(stderr, "done %s / %s%s\n", spec.name.c_str(),
-                   models::ModelKindName(kind), agg.annotation.c_str());
+                   models::ModelKindName(kind),
+                   aggs[static_cast<size_t>(slot)].annotation.c_str());
+    });
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      bench::PushToLeaderboard(&auc_board, models::ModelKindName(kinds[i]),
+                               spec.name, aggs[i], "AUC");
+      bench::PushToLeaderboard(&ap_board, models::ModelKindName(kinds[i]),
+                               spec.name, aggs[i], "AP");
     }
   }
 

@@ -24,7 +24,8 @@ int main() {
   const auto& kinds = models::PaperModels();
   std::vector<Row> runtime, epochs, ram, state, throughput;
 
-  for (const datagen::DatasetSpec& spec : bench::SelectedDatasets(datagen::MainDatasets())) {
+  for (const datagen::DatasetSpec& spec :
+       bench::SelectedDatasets(datagen::MainDatasets())) {
     graph::TemporalGraph g = bench::LoadBenchmark(spec, grid);
     Row rt{spec.name, {}}, ep{spec.name, {}}, rm{spec.name, {}},
         st{spec.name, {}}, tp{spec.name, {}};

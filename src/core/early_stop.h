@@ -22,6 +22,12 @@ class EarlyStopMonitor {
   /// Number of Update() calls so far.
   int epochs() const { return epoch_; }
   int rounds_without_improvement() const { return rounds_; }
+  /// Configured stopping criteria (read-only).
+  int patience() const { return patience_; }
+  double tolerance() const { return tolerance_; }
+  /// True once the patience budget is exhausted — the same condition
+  /// Update() reports, inspectable without mutating the monitor.
+  bool stopped() const { return rounds_ >= patience_; }
 
  private:
   int patience_;

@@ -17,10 +17,41 @@ std::string FormatCell(const LeaderboardRecord& r, const char* marker) {
 }  // namespace
 
 void Leaderboard::Add(LeaderboardRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
   records_.push_back(std::move(record));
 }
 
-void Leaderboard::Clear() { records_.clear(); }
+void Leaderboard::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::string Leaderboard::ToCsvLocked() const {
+  std::string out = "model,dataset,task,setting,metric,mean,std,annotation\n";
+  for (const LeaderboardRecord& r : records_) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s,%s,%s,%s,%s,%.6f,%.6f,%s\n",
+                  r.model.c_str(), r.dataset.c_str(), r.task.c_str(),
+                  r.setting.c_str(), r.metric.c_str(), r.mean, r.std,
+                  r.annotation.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string Leaderboard::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ToCsvLocked();
+}
+
+bool Leaderboard::WriteCsv(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = ToCsvLocked();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
 
 std::vector<LeaderboardRecord> Leaderboard::Select(
     const std::string& dataset, const std::string& task,
@@ -131,7 +162,8 @@ std::string Leaderboard::ToMarkdown() const {
       "|---|---|---|---|---|---|---|---|\n";
   for (const LeaderboardRecord& r : records_) {
     char buf[128];
-    std::snprintf(buf, sizeof(buf), "| %s | %s | %s | %s | %s | %.4f | %.4f | %s |\n",
+    std::snprintf(buf, sizeof(buf),
+                  "| %s | %s | %s | %s | %s | %.4f | %.4f | %s |\n",
                   r.model.c_str(), r.dataset.c_str(), r.task.c_str(),
                   r.setting.c_str(), r.metric.c_str(), r.mean, r.std,
                   r.annotation.c_str());

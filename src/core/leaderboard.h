@@ -1,6 +1,7 @@
 #ifndef BENCHTEMP_CORE_LEADERBOARD_H_
 #define BENCHTEMP_CORE_LEADERBOARD_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,12 +24,26 @@ struct LeaderboardRecord {
 
 /// The pipeline's Leaderboard module: collects run results, ranks models,
 /// and renders paper-style tables.
+///
+/// Add(), Clear(), and the CSV writers take an internal mutex so concurrent
+/// bench workers (the runtime pool's per-model dispatch) can record results
+/// without interleaving rows. The read accessors are unsynchronized: query
+/// and format only after the parallel phase has joined.
 class Leaderboard {
  public:
   void Add(LeaderboardRecord record);
   void Clear();
 
   const std::vector<LeaderboardRecord>& records() const { return records_; }
+
+  /// Writes every record as one CSV row (with a header) to `path`,
+  /// truncating any previous contents. Returns false when the file cannot
+  /// be opened. Serialized by the same mutex as Add(), so a sweep worker
+  /// snapshotting mid-run cannot tear a row.
+  bool WriteCsv(const std::string& path) const;
+
+  /// CSV rendering of the current records (header + one line per record).
+  std::string ToCsv() const;
 
   /// Records matching a (dataset, task, setting, metric) cell group.
   std::vector<LeaderboardRecord> Select(const std::string& dataset,
@@ -63,8 +78,11 @@ class Leaderboard {
   std::string ToMarkdown() const;
 
  private:
+  /// Guards records_ mutations and file writes against concurrent workers.
+  mutable std::mutex mutex_;
   std::vector<LeaderboardRecord> records_;
 
+  std::string ToCsvLocked() const;
   const LeaderboardRecord* Find(const std::string& model,
                                 const std::string& dataset,
                                 const std::string& task,

@@ -288,7 +288,8 @@ NodeClassificationResult RunNodeClassification(
   const int32_t num_classes = std::max(graph.NumLabelClasses(), 2);
   const bool binary = num_classes <= 2;
 
-  NodeClassificationSplit split = SplitNodeClassification(graph, job.split_config);
+  NodeClassificationSplit split =
+      SplitNodeClassification(graph, job.split_config);
   NeighborFinder full_finder(graph);
   int32_t dst_lo = 0, dst_hi = 0;
   DstRange(graph, job.num_users, &dst_lo, &dst_hi);

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/thread_pool.h"
+
 namespace benchtemp::graph {
+
+namespace {
+
+/// SplitMix64 finalizer — decorrelates the per-root seeds derived from one
+/// batch seed so adjacent roots don't get adjacent engine states.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 TemporalWalkSampler::TemporalWalkSampler(WalkBias bias, double alpha)
     : bias_(bias), alpha_(alpha) {}
@@ -69,6 +84,25 @@ std::vector<TemporalWalk> TemporalWalkSampler::SampleWalks(
     walks.push_back(SampleWalk(finder, node, ts, length, rng));
   }
   return walks;
+}
+
+std::vector<std::vector<TemporalWalk>> TemporalWalkSampler::SampleWalkBatch(
+    const NeighborFinder& finder, const std::vector<int32_t>& nodes,
+    const std::vector<double>& ts, int64_t count, int64_t length,
+    uint64_t seed) const {
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  std::vector<std::vector<TemporalWalk>> out(static_cast<size_t>(n));
+  // A few roots per chunk amortizes dispatch; chunking is still
+  // thread-count independent so the walks stay reproducible.
+  runtime::ParallelFor(0, n, /*grain=*/4, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      tensor::Rng rng(MixSeed(seed, static_cast<uint64_t>(i)));
+      out[static_cast<size_t>(i)] =
+          SampleWalks(finder, nodes[static_cast<size_t>(i)],
+                      ts[static_cast<size_t>(i)], count, length, rng);
+    }
+  });
+  return out;
 }
 
 namespace {

@@ -53,6 +53,16 @@ class TemporalWalkSampler {
                                         int64_t count, int64_t length,
                                         tensor::Rng& rng) const;
 
+  /// Batch API: `count` walks from each root (`nodes[i]`, `ts[i]`), sampled
+  /// in parallel on the runtime thread pool. Root `i` draws from its own
+  /// RNG stream seeded by SplitMix64(seed, i), so the returned walks are
+  /// identical at any thread count (including 1) and fully determined by
+  /// `seed`.
+  std::vector<std::vector<TemporalWalk>> SampleWalkBatch(
+      const NeighborFinder& finder, const std::vector<int32_t>& nodes,
+      const std::vector<double>& ts, int64_t count, int64_t length,
+      uint64_t seed) const;
+
   /// Exposed for testing: weight of stepping to a neighbor at time t' from
   /// time t (before normalization).
   double StepWeight(double t_prev, double t_now) const;

@@ -120,17 +120,24 @@ Var WalkModel::EncodePairs(const std::vector<int32_t>& srcs,
                            const std::vector<double>& ts) {
   tensor::CheckOrDie(finder_ != nullptr, "WalkModel: neighbor finder not set");
   const size_t n = srcs.size();
+  // One batch seed drawn serially keeps the model's RNG stream
+  // deterministic; the batch sampler derives per-root streams from it so
+  // the walks are identical at any thread count.
+  const uint64_t batch_seed = rng_.engine()();
+  std::vector<int32_t> roots(srcs);
+  roots.insert(roots.end(), dsts.begin(), dsts.end());
+  std::vector<double> root_ts(ts);
+  root_ts.insert(root_ts.end(), ts.begin(), ts.end());
+  auto sampled =
+      sampler_->SampleWalkBatch(*finder_, roots, root_ts, config_.num_walks,
+                                config_.walk_length, batch_seed);
   std::vector<std::vector<TemporalWalk>> groups;
   std::vector<CawAnonymizer> anonymizers;
   groups.reserve(n);
   anonymizers.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto walks_u =
-        sampler_->SampleWalks(*finder_, srcs[i], ts[i], config_.num_walks,
-                              config_.walk_length, rng_);
-    auto walks_v =
-        sampler_->SampleWalks(*finder_, dsts[i], ts[i], config_.num_walks,
-                              config_.walk_length, rng_);
+    std::vector<TemporalWalk>& walks_u = sampled[i];
+    std::vector<TemporalWalk>& walks_v = sampled[n + i];
     anonymizers.emplace_back(walks_u, walks_v, config_.walk_length);
     std::vector<TemporalWalk> group = std::move(walks_u);
     for (auto& w : walks_v) group.push_back(std::move(w));
@@ -149,14 +156,15 @@ Var WalkModel::ComputeEmbeddings(const std::vector<int32_t>& nodes,
                                  const std::vector<double>& ts) {
   tensor::CheckOrDie(finder_ != nullptr, "WalkModel: neighbor finder not set");
   const size_t n = nodes.size();
+  const uint64_t batch_seed = rng_.engine()();
+  auto sampled = sampler_->SampleWalkBatch(
+      *finder_, nodes, ts, config_.num_walks, config_.walk_length, batch_seed);
   std::vector<std::vector<TemporalWalk>> groups;
   std::vector<CawAnonymizer> anonymizers;
   groups.reserve(n);
   anonymizers.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto walks =
-        sampler_->SampleWalks(*finder_, nodes[i], ts[i], config_.num_walks,
-                              config_.walk_length, rng_);
+    std::vector<TemporalWalk>& walks = sampled[i];
     anonymizers.emplace_back(walks, walks, config_.walk_length);
     groups.push_back(std::move(walks));
   }

@@ -1,0 +1,149 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "tensor/tensor.h"
+
+namespace benchtemp::runtime {
+
+namespace {
+
+/// Set for the lifetime of a worker thread; lets nested ParallelFor calls
+/// detect they are already running on pool capacity.
+thread_local const ThreadPool* g_worker_pool = nullptr;
+
+}  // namespace
+
+int DefaultNumThreads() {
+  const char* env = std::getenv("BENCHTEMP_NUM_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  StartWorkers(std::max(num_threads, 1) - 1);
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::StartWorkers(int count) {
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  shutdown_ = false;
+}
+
+void ThreadPool::SetNumThreads(int num_threads) {
+  tensor::CheckOrDie(job_ == nullptr,
+                     "ThreadPool::SetNumThreads: pool is busy");
+  StopWorkers();
+  StartWorkers(std::max(num_threads, 1) - 1);
+}
+
+bool ThreadPool::InWorker() const { return g_worker_pool == this; }
+
+void ThreadPool::RunChunks(Job& job) {
+  for (;;) {
+    const int64_t chunk = job.next_chunk.fetch_add(1);
+    if (chunk >= job.num_chunks) return;
+    try {
+      (*job.fn)(chunk);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Cancel the chunks nobody claimed yet; the caller rethrows.
+      job.next_chunk.store(job.num_chunks);
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  g_worker_pool = this;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      job->entered.fetch_add(1);
+    }
+    RunChunks(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->entered.fetch_sub(1);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(int64_t num_chunks,
+                     const std::function<void(int64_t)>& chunk_fn) {
+  if (num_chunks <= 0) return;
+  if (workers_.empty() || num_chunks == 1 || InWorker()) {
+    // Inline path: no workers, trivially small job, or a nested call from a
+    // worker (which must not block on pool capacity it occupies).
+    for (int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+    return;
+  }
+  Job job;
+  job.num_chunks = num_chunks;
+  job.fn = &chunk_fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(job);
+  {
+    // All chunks are claimed once the caller's RunChunks returns; wait for
+    // workers still executing theirs before the stack Job dies.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job.entered.load() == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t range = end - begin;
+  const int64_t num_chunks = (range + grain - 1) / grain;
+  ThreadPool::Global().Run(num_chunks, [&](int64_t chunk) {
+    const int64_t chunk_begin = begin + chunk * grain;
+    fn(chunk_begin, std::min<int64_t>(end, chunk_begin + grain));
+  });
+}
+
+}  // namespace benchtemp::runtime

@@ -1,0 +1,96 @@
+#ifndef BENCHTEMP_RUNTIME_THREAD_POOL_H_
+#define BENCHTEMP_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace benchtemp::runtime {
+
+/// A lazily-initialized shared worker pool behind `ParallelFor`.
+///
+/// Sizing: `BENCHTEMP_NUM_THREADS` env var when set (>= 1), otherwise
+/// `std::thread::hardware_concurrency()`. A pool of size 1 owns no worker
+/// threads and runs everything inline on the caller.
+///
+/// Determinism contract: work is split into chunks whose boundaries depend
+/// only on the range and grain — never on the thread count — and every
+/// chunk is executed by exactly one thread. Kernels that only write
+/// disjoint outputs per chunk therefore produce bit-identical results at
+/// any thread count (including 1).
+class ThreadPool {
+ public:
+  /// The process-wide pool (created on first use).
+  static ThreadPool& Global();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute chunks (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Re-sizes the pool (joins and respawns workers). Test/bench hook; must
+  /// not be called while a Run() is in flight.
+  void SetNumThreads(int num_threads);
+
+  /// True when the calling thread is one of this pool's workers. Nested
+  /// Run() calls from a worker execute inline (serially) to avoid
+  /// deadlocking on the pool's own capacity.
+  bool InWorker() const;
+
+  /// Executes chunk_fn(0) ... chunk_fn(num_chunks - 1), each exactly once,
+  /// distributed over the pool plus the calling thread. Blocks until every
+  /// chunk finished. The first exception thrown by a chunk is rethrown
+  /// here (remaining chunks may be skipped).
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn);
+
+ private:
+  struct Job {
+    std::atomic<int64_t> next_chunk{0};
+    int64_t num_chunks = 0;
+    const std::function<void(int64_t)>* fn = nullptr;
+    /// Workers currently inside RunChunks — the job may not be torn down
+    /// until this drops to zero.
+    std::atomic<int> entered{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Job& job);
+  void StartWorkers(int count);
+  void StopWorkers();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Resolved BENCHTEMP_NUM_THREADS (or hardware concurrency) — the size the
+/// global pool is created with.
+int DefaultNumThreads();
+
+/// Splits [begin, end) into chunks of `grain` indices and runs
+/// `fn(chunk_begin, chunk_end)` for each on the global pool. Chunk
+/// boundaries are begin + k*grain regardless of thread count (static
+/// chunking), so kernels writing disjoint outputs per index stay
+/// bit-reproducible. Ranges that fit one chunk run inline with zero
+/// dispatch overhead, as do nested calls from inside a pool worker.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace benchtemp::runtime
+
+#endif  // BENCHTEMP_RUNTIME_THREAD_POOL_H_

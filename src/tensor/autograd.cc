@@ -4,9 +4,24 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "runtime/thread_pool.h"
+
 namespace benchtemp::tensor {
 
 namespace {
+
+/// Elementwise kernels below this many entries run serially; the dispatch
+/// overhead of the pool is not worth it for the small per-batch tensors.
+constexpr int64_t kElementwiseGrain = 1 << 13;
+
+/// Row-blocked chunk size targeting ~64k flops per chunk; ranges whose
+/// total work fits one chunk run inline. Chunking depends only on the
+/// per-row cost, never on the thread count (determinism contract).
+int64_t RowGrain(int64_t flops_per_row) {
+  constexpr int64_t kChunkFlops = 1 << 16;
+  return std::max<int64_t>(
+      1, kChunkFlops / std::max<int64_t>(flops_per_row, 1));
+}
 
 /// True when `b` can be row-broadcast across `a`: b is [1, d] or rank-1 [d]
 /// while a is [n, d].
@@ -110,12 +125,23 @@ Var Add(const Var& a, const Var& b) {
   const Tensor& bv = b->value;
   if (av.SameShape(bv) || av.size() == bv.size()) {
     Tensor out = av;
-    out.AddInPlace(bv);
+    const float* bp = bv.data();
+    float* op = out.data();
+    runtime::ParallelFor(0, out.size(), kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) op[i] += bp[i];
+                         });
     return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
       for (int i = 0; i < 2; ++i) {
         VarNode& p = *self.parents[i];
         if (!p.requires_grad) continue;
-        p.EnsureGrad().AddInPlace(self.grad);
+        float* gp = p.EnsureGrad().data();
+        const float* sg = self.grad.data();
+        runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
+                             [&](int64_t lo, int64_t hi) {
+                               for (int64_t j = lo; j < hi; ++j)
+                                 gp[j] += sg[j];
+                             });
       }
     });
   }
@@ -159,19 +185,33 @@ Var Mul(const Var& a, const Var& b) {
   const Tensor& bv = b->value;
   if (av.size() == bv.size()) {
     Tensor out = av;
-    for (int64_t i = 0; i < out.size(); ++i) out.at(i) *= bv.at(i);
+    const float* bp = bv.data();
+    float* op = out.data();
+    runtime::ParallelFor(0, out.size(), kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) op[i] *= bp[i];
+                         });
     return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
       VarNode& pa = *self.parents[0];
       VarNode& pb = *self.parents[1];
+      const float* sg = self.grad.data();
       if (pa.requires_grad) {
-        Tensor& g = pa.EnsureGrad();
-        for (int64_t i = 0; i < g.size(); ++i)
-          g.at(i) += self.grad.at(i) * pb.value.at(i);
+        float* g = pa.EnsureGrad().data();
+        const float* other = pb.value.data();
+        runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
+                             [&](int64_t lo, int64_t hi) {
+                               for (int64_t i = lo; i < hi; ++i)
+                                 g[i] += sg[i] * other[i];
+                             });
       }
       if (pb.requires_grad) {
-        Tensor& g = pb.EnsureGrad();
-        for (int64_t i = 0; i < g.size(); ++i)
-          g.at(i) += self.grad.at(i) * pa.value.at(i);
+        float* g = pb.EnsureGrad().data();
+        const float* other = pa.value.data();
+        runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
+                             [&](int64_t lo, int64_t hi) {
+                               for (int64_t i = lo; i < hi; ++i)
+                                 g[i] += sg[i] * other[i];
+                             });
       }
     });
   }
@@ -253,46 +293,58 @@ Var MatMul(const Var& a, const Var& b) {
   const float* ap = av.data();
   const float* bp = bv.data();
   float* op = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float aval = ap[i * k + p];
-      if (aval == 0.0f) continue;
-      const float* brow = bp + p * m;
-      float* orow = op + i * m;
-      for (int64_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
+  // Row-blocked over the output: each chunk owns rows [i0, i1) of `out`, so
+  // writes are disjoint and results are thread-count independent.
+  runtime::ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float aval = ap[i * k + p];
+        if (aval == 0.0f) continue;
+        const float* brow = bp + p * m;
+        float* orow = op + i * m;
+        for (int64_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
+      }
     }
-  }
+  });
   return MakeNode(std::move(out), {a, b}, [n, k, m](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
     const float* gp = self.grad.data();
     if (pa.requires_grad) {
-      // dA = dOut * B^T.
+      // dA = dOut * B^T; chunks own disjoint row blocks of dA.
       Tensor& ga = pa.EnsureGrad();
       const float* bp = pb.value.data();
       float* gap = ga.data();
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < m; ++j) {
-          const float gval = gp[i * m + j];
-          if (gval == 0.0f) continue;
-          for (int64_t p = 0; p < k; ++p) gap[i * k + p] += gval * bp[p * m + j];
+      runtime::ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          for (int64_t j = 0; j < m; ++j) {
+            const float gval = gp[i * m + j];
+            if (gval == 0.0f) continue;
+            for (int64_t p = 0; p < k; ++p)
+              gap[i * k + p] += gval * bp[p * m + j];
+          }
         }
-      }
+      });
     }
     if (pb.requires_grad) {
-      // dB = A^T * dOut.
+      // dB = A^T * dOut; blocked over rows of dB (the k dimension) so each
+      // chunk accumulates its rows over i in a fixed serial order —
+      // bit-identical at any thread count.
       Tensor& gb = pb.EnsureGrad();
       const float* ap = pa.value.data();
       float* gbp = gb.data();
-      for (int64_t i = 0; i < n; ++i) {
-        for (int64_t p = 0; p < k; ++p) {
-          const float aval = ap[i * k + p];
-          if (aval == 0.0f) continue;
+      runtime::ParallelFor(0, k, RowGrain(n * m), [&](int64_t p0, int64_t p1) {
+        for (int64_t i = 0; i < n; ++i) {
+          const float* arow = ap + i * k;
           const float* grow = gp + i * m;
-          float* gbrow = gbp + p * m;
-          for (int64_t j = 0; j < m; ++j) gbrow[j] += aval * grow[j];
+          for (int64_t p = p0; p < p1; ++p) {
+            const float aval = arow[p];
+            if (aval == 0.0f) continue;
+            float* gbrow = gbp + p * m;
+            for (int64_t j = 0; j < m; ++j) gbrow[j] += aval * grow[j];
+          }
         }
-      }
+      });
     }
   });
 }
@@ -470,13 +522,23 @@ namespace {
 template <typename Fwd, typename Bwd>
 Var Unary(const Var& a, Fwd fwd, Bwd bwd) {
   Tensor out = a->value;
-  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = fwd(out.at(i));
+  float* op = out.data();
+  runtime::ParallelFor(0, out.size(), kElementwiseGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) op[i] = fwd(op[i]);
+                       });
   return MakeNode(std::move(out), {a}, [bwd](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
-    for (int64_t i = 0; i < g.size(); ++i)
-      g.at(i) += self.grad.at(i) * bwd(self.value.at(i), p.value.at(i));
+    float* g = p.EnsureGrad().data();
+    const float* sg = self.grad.data();
+    const float* sv = self.value.data();
+    const float* pv = p.value.data();
+    runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i)
+                             g[i] += sg[i] * bwd(sv[i], pv[i]);
+                         });
   });
 }
 
@@ -595,25 +657,30 @@ Var SoftmaxImpl(const Var& a, const Tensor* mask) {
     CheckOrDie(mask->size() == n * d, "MaskedSoftmaxRows: mask size");
   }
   Tensor out({n, d});
-  for (int64_t r = 0; r < n; ++r) {
-    SoftmaxRow(av.data() + r * d,
-               mask != nullptr ? mask->data() + r * d : nullptr, d,
-               out.data() + r * d);
-  }
+  const float* mp = mask != nullptr ? mask->data() : nullptr;
+  runtime::ParallelFor(0, n, RowGrain(4 * d), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      SoftmaxRow(av.data() + r * d, mp != nullptr ? mp + r * d : nullptr, d,
+                 out.data() + r * d);
+    }
+  });
   return MakeNode(std::move(out), {a}, [n, d](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
     // dx = s * (g - dot(g, s)) per row; masked entries have s == 0 so they
-    // receive no gradient automatically.
-    for (int64_t r = 0; r < n; ++r) {
-      const float* s = self.value.data() + r * d;
-      const float* go = self.grad.data() + r * d;
-      float dot = 0.0f;
-      for (int64_t c = 0; c < d; ++c) dot += go[c] * s[c];
-      float* gi = g.data() + r * d;
-      for (int64_t c = 0; c < d; ++c) gi[c] += s[c] * (go[c] - dot);
-    }
+    // receive no gradient automatically. Rows are independent, so the
+    // row-blocked parallel loop writes disjoint gradient slices.
+    runtime::ParallelFor(0, n, RowGrain(4 * d), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* s = self.value.data() + r * d;
+        const float* go = self.grad.data() + r * d;
+        float dot = 0.0f;
+        for (int64_t c = 0; c < d; ++c) dot += go[c] * s[c];
+        float* gi = g.data() + r * d;
+        for (int64_t c = 0; c < d; ++c) gi[c] += s[c] * (go[c] - dot);
+      }
+    });
   });
 }
 
@@ -725,37 +792,47 @@ Var BatchDot(const Var& q, const Var& k_block, int64_t num_keys) {
   CheckOrDie(kv.shape()[0] == b * num_keys && kv.shape()[1] == d,
              "BatchDot: key block shape");
   Tensor out({b, num_keys});
-  for (int64_t i = 0; i < b; ++i) {
-    const float* qrow = qv.data() + i * d;
-    for (int64_t k = 0; k < num_keys; ++k) {
-      const float* krow = kv.data() + (i * num_keys + k) * d;
-      float dot = 0.0f;
-      for (int64_t c = 0; c < d; ++c) dot += qrow[c] * krow[c];
-      out.at(i, k) = dot;
-    }
-  }
-  return MakeNode(std::move(out), {q, k_block},
-                  [b, d, num_keys](VarNode& self) {
-                    VarNode& pq = *self.parents[0];
-                    VarNode& pk = *self.parents[1];
-                    for (int64_t i = 0; i < b; ++i) {
-                      for (int64_t k = 0; k < num_keys; ++k) {
-                        const float gval = self.grad.at(i * num_keys + k);
-                        if (gval == 0.0f) continue;
-                        const int64_t krow = (i * num_keys + k) * d;
-                        if (pq.requires_grad) {
-                          Tensor& gq = pq.EnsureGrad();
-                          for (int64_t c = 0; c < d; ++c)
-                            gq.at(i * d + c) += gval * pk.value.at(krow + c);
-                        }
-                        if (pk.requires_grad) {
-                          Tensor& gk = pk.EnsureGrad();
-                          for (int64_t c = 0; c < d; ++c)
-                            gk.at(krow + c) += gval * pq.value.at(i * d + c);
-                        }
-                      }
-                    }
-                  });
+  runtime::ParallelFor(
+      0, b, RowGrain(num_keys * d), [&](int64_t b0, int64_t b1) {
+        for (int64_t i = b0; i < b1; ++i) {
+          const float* qrow = qv.data() + i * d;
+          for (int64_t k = 0; k < num_keys; ++k) {
+            const float* krow = kv.data() + (i * num_keys + k) * d;
+            float dot = 0.0f;
+            for (int64_t c = 0; c < d; ++c) dot += qrow[c] * krow[c];
+            out.at(i, k) = dot;
+          }
+        }
+      });
+  return MakeNode(
+      std::move(out), {q, k_block}, [b, d, num_keys](VarNode& self) {
+        VarNode& pq = *self.parents[0];
+        VarNode& pk = *self.parents[1];
+        if (pq.requires_grad) pq.EnsureGrad();
+        if (pk.requires_grad) pk.EnsureGrad();
+        // Both gradients are blocked by batch row i: gq row i and gk rows
+        // [i*num_keys, (i+1)*num_keys) belong to exactly one chunk.
+        runtime::ParallelFor(
+            0, b, RowGrain(2 * num_keys * d), [&](int64_t b0, int64_t b1) {
+              for (int64_t i = b0; i < b1; ++i) {
+                for (int64_t k = 0; k < num_keys; ++k) {
+                  const float gval = self.grad.at(i * num_keys + k);
+                  if (gval == 0.0f) continue;
+                  const int64_t krow = (i * num_keys + k) * d;
+                  if (pq.requires_grad) {
+                    Tensor& gq = pq.grad;
+                    for (int64_t c = 0; c < d; ++c)
+                      gq.at(i * d + c) += gval * pk.value.at(krow + c);
+                  }
+                  if (pk.requires_grad) {
+                    Tensor& gk = pk.grad;
+                    for (int64_t c = 0; c < d; ++c)
+                      gk.at(krow + c) += gval * pq.value.at(i * d + c);
+                  }
+                }
+              }
+            });
+      });
 }
 
 Var BatchWeightedSum(const Var& w, const Var& v_block, int64_t num_keys) {
@@ -768,38 +845,48 @@ Var BatchWeightedSum(const Var& w, const Var& v_block, int64_t num_keys) {
   const int64_t d = vv.shape()[1];
   CheckOrDie(vv.shape()[0] == b * num_keys, "BatchWeightedSum: value shape");
   Tensor out({b, d});
-  for (int64_t i = 0; i < b; ++i) {
-    float* orow = out.data() + i * d;
-    for (int64_t k = 0; k < num_keys; ++k) {
-      const float weight = wv.at(i, k);
-      if (weight == 0.0f) continue;
-      const float* vrow = vv.data() + (i * num_keys + k) * d;
-      for (int64_t c = 0; c < d; ++c) orow[c] += weight * vrow[c];
-    }
-  }
+  runtime::ParallelFor(
+      0, b, RowGrain(num_keys * d), [&](int64_t b0, int64_t b1) {
+        for (int64_t i = b0; i < b1; ++i) {
+          float* orow = out.data() + i * d;
+          for (int64_t k = 0; k < num_keys; ++k) {
+            const float weight = wv.at(i, k);
+            if (weight == 0.0f) continue;
+            const float* vrow = vv.data() + (i * num_keys + k) * d;
+            for (int64_t c = 0; c < d; ++c) orow[c] += weight * vrow[c];
+          }
+        }
+      });
   return MakeNode(
       std::move(out), {w, v_block}, [b, d, num_keys](VarNode& self) {
         VarNode& pw = *self.parents[0];
         VarNode& pv = *self.parents[1];
-        for (int64_t i = 0; i < b; ++i) {
-          const float* grow = self.grad.data() + i * d;
-          for (int64_t k = 0; k < num_keys; ++k) {
-            const int64_t vrow = (i * num_keys + k) * d;
-            if (pw.requires_grad) {
-              float dot = 0.0f;
-              for (int64_t c = 0; c < d; ++c)
-                dot += grow[c] * pv.value.at(vrow + c);
-              pw.EnsureGrad().at(i * num_keys + k) += dot;
-            }
-            if (pv.requires_grad) {
-              const float weight = pw.value.at(i * num_keys + k);
-              if (weight == 0.0f) continue;
-              Tensor& gv = pv.EnsureGrad();
-              for (int64_t c = 0; c < d; ++c)
-                gv.at(vrow + c) += weight * grow[c];
-            }
-          }
-        }
+        if (pw.requires_grad) pw.EnsureGrad();
+        if (pv.requires_grad) pv.EnsureGrad();
+        // Blocked by batch row i: weight grads (i, :) and value grads
+        // [i*num_keys, (i+1)*num_keys) are owned by one chunk each.
+        runtime::ParallelFor(
+            0, b, RowGrain(2 * num_keys * d), [&](int64_t b0, int64_t b1) {
+              for (int64_t i = b0; i < b1; ++i) {
+                const float* grow = self.grad.data() + i * d;
+                for (int64_t k = 0; k < num_keys; ++k) {
+                  const int64_t vrow = (i * num_keys + k) * d;
+                  if (pw.requires_grad) {
+                    float dot = 0.0f;
+                    for (int64_t c = 0; c < d; ++c)
+                      dot += grow[c] * pv.value.at(vrow + c);
+                    pw.grad.at(i * num_keys + k) += dot;
+                  }
+                  if (pv.requires_grad) {
+                    const float weight = pw.value.at(i * num_keys + k);
+                    if (weight == 0.0f) continue;
+                    Tensor& gv = pv.grad;
+                    for (int64_t c = 0; c < d; ++c)
+                      gv.at(vrow + c) += weight * grow[c];
+                  }
+                }
+              }
+            });
       });
 }
 
