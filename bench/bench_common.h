@@ -12,7 +12,16 @@
 //                         the models the paper reports as slow /
 //                         non-converging, so their budget is tighter)
 //   BENCHTEMP_QUICK=1     shrink everything further (smoke-test mode)
+//
+// Robustness knobs (see DESIGN.md "Failure model"):
+//   BENCHTEMP_MANIFEST     sweep journal path; an interrupted run restarts
+//                          where it died and produces an identical CSV
+//   BENCHTEMP_CSV_OUT      leaderboard CSV output path
+//   BENCHTEMP_JOB_DEADLINE per-job watchdog deadline in seconds (0 = off);
+//                          an expired job is annotated "x"
+//   BENCHTEMP_FAULTS       fault-injection spec (FaultInjector grammar)
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +33,7 @@
 #include "datagen/catalog.h"
 #include "graph/walks.h"
 #include "models/factory.h"
+#include "robustness/sweep.h"
 #include "runtime/thread_pool.h"
 
 namespace benchtemp::bench {
@@ -31,6 +41,12 @@ namespace benchtemp::bench {
 inline int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
   return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline std::string EnvStr(const char* name,
+                          const std::string& fallback = "") {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::string(value) : fallback;
 }
 
 /// Grid-wide settings derived from the environment.
@@ -109,10 +125,11 @@ struct AggregatedLp {
   core::EfficiencyStats efficiency;
 };
 
-inline AggregatedLp RunAggregatedLp(const datagen::DatasetSpec& spec,
-                                    const graph::TemporalGraph& g,
-                                    models::ModelKind kind,
-                                    const GridConfig& grid) {
+inline AggregatedLp RunAggregatedLp(
+    const datagen::DatasetSpec& spec, const graph::TemporalGraph& g,
+    models::ModelKind kind, const GridConfig& grid,
+    const std::atomic<bool>* cancel = nullptr,
+    const std::string& checkpoint_prefix = "") {
   AggregatedLp agg;
   std::vector<double> auc[4], ap[4];
   for (int run = 0; run < grid.runs; ++run) {
@@ -122,9 +139,18 @@ inline AggregatedLp RunAggregatedLp(const datagen::DatasetSpec& spec,
     job.kind = kind;
     job.model_config = ModelConfigFor(kind, spec, grid);
     job.train_config = TrainConfigFor(kind, grid, 1000 + 13 * run);
+    job.train_config.cancel_token = cancel;
+    if (!checkpoint_prefix.empty()) {
+      job.train_config.checkpoint_path =
+          checkpoint_prefix + ".run" + std::to_string(run) + ".ckpt";
+    }
     const core::LinkPredictionResult result = core::RunLinkPrediction(job);
     if (!result.annotation.empty()) agg.annotation = result.annotation;
     if (result.status != models::ModelStatus::kOk) return agg;
+    // A watchdog-canceled or diverged job skipped the test pass entirely
+    // (count == 0); a budget-limited "x" still produced scores and is
+    // aggregated as before.
+    if (result.test[0].count == 0) return agg;
     for (int s = 0; s < 4; ++s) {
       auc[s].push_back(result.test[s].auc);
       ap[s].push_back(result.test[s].ap);
@@ -154,12 +180,11 @@ inline void ForEachModelParallel(const std::vector<models::ModelKind>& kinds,
       });
 }
 
-/// Adds one aggregated result to a leaderboard under all four settings.
-inline void PushToLeaderboard(core::Leaderboard* board,
-                              const std::string& model,
-                              const std::string& dataset,
-                              const AggregatedLp& agg,
-                              const std::string& metric) {
+/// Leaderboard rows of one aggregated result under all four settings.
+inline std::vector<core::LeaderboardRecord> LpRecords(
+    const std::string& model, const std::string& dataset,
+    const AggregatedLp& agg, const std::string& metric) {
+  std::vector<core::LeaderboardRecord> records;
   for (int s = 0; s < 4; ++s) {
     core::LeaderboardRecord record;
     record.model = model;
@@ -171,8 +196,71 @@ inline void PushToLeaderboard(core::Leaderboard* board,
     record.mean = ms.mean;
     record.std = ms.std;
     record.annotation = agg.annotation;
-    board->Add(record);
+    records.push_back(std::move(record));
   }
+  return records;
+}
+
+/// Adds one aggregated result to a leaderboard under all four settings.
+inline void PushToLeaderboard(core::Leaderboard* board,
+                              const std::string& model,
+                              const std::string& dataset,
+                              const AggregatedLp& agg,
+                              const std::string& metric) {
+  for (core::LeaderboardRecord& record : LpRecords(model, dataset, agg,
+                                                   metric)) {
+    board->Add(std::move(record));
+  }
+}
+
+/// Sweep options from the environment (manifest path, per-job deadline).
+inline robustness::SweepOptions SweepOptionsFromEnv() {
+  robustness::SweepOptions options;
+  options.manifest_path = EnvStr("BENCHTEMP_MANIFEST");
+  const char* deadline = std::getenv("BENCHTEMP_JOB_DEADLINE");
+  if (deadline != nullptr) {
+    options.job_deadline_seconds = std::atof(deadline);
+  }
+  return options;
+}
+
+/// Builds one fault-tolerant sweep job for a (dataset, model) cell: runs
+/// the aggregated link-prediction grid under the sweep's cancel token and
+/// returns its AUC + AP rows. When the sweep keeps a manifest, the job also
+/// checkpoints each run next to it (removed on success) so a killed sweep
+/// resumes mid-job instead of from the job's start.
+inline robustness::SweepJob MakeLpSweepJob(
+    const datagen::DatasetSpec& spec, const graph::TemporalGraph& g,
+    models::ModelKind kind, const GridConfig& grid,
+    const robustness::SweepOptions& options) {
+  robustness::SweepJob job;
+  job.model = models::ModelKindName(kind);
+  job.dataset = spec.name;
+  job.key = spec.name + "/" + job.model;
+  for (int s = 0; s < 4; ++s) {
+    job.settings.push_back(core::SettingName(static_cast<core::Setting>(s)));
+  }
+  job.metrics = {"AUC", "AP"};
+  std::string checkpoint_prefix;
+  if (!options.manifest_path.empty()) {
+    checkpoint_prefix = options.manifest_path + "." + spec.name + "." +
+                        job.model;
+  }
+  job.run = [&spec, &g, kind, grid, checkpoint_prefix](
+                const std::atomic<bool>* cancel) {
+    const AggregatedLp agg =
+        RunAggregatedLp(spec, g, kind, grid, cancel, checkpoint_prefix);
+    std::vector<core::LeaderboardRecord> records =
+        LpRecords(models::ModelKindName(kind), spec.name, agg, "AUC");
+    for (core::LeaderboardRecord& r :
+         LpRecords(models::ModelKindName(kind), spec.name, agg, "AP")) {
+      records.push_back(std::move(r));
+    }
+    std::fprintf(stderr, "done %s / %s%s\n", spec.name.c_str(),
+                 models::ModelKindName(kind), agg.annotation.c_str());
+    return records;
+  };
+  return job;
 }
 
 /// Datasets selected by the BENCHTEMP_DATASETS env var (comma-separated

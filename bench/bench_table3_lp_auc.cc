@@ -5,52 +5,66 @@
 // "**" marks the best cell, "_" the second best (not shown when trailing by
 // > 0.05), "*" a runtime error (TGAT on UNTrade), "x" non-convergence —
 // the paper's own annotations.
+//
+// The grid runs on the fault-tolerant sweep runner: every (dataset, model)
+// cell is one crash-isolated job with an optional watchdog deadline
+// (BENCHTEMP_JOB_DEADLINE) and — when BENCHTEMP_MANIFEST is set — journal
+// based resume: re-running after a kill skips completed cells, restarts the
+// interrupted one from its epoch checkpoint, and produces a CSV identical
+// to an uninterrupted run (BENCHTEMP_CSV_OUT).
+
+#include <deque>
 
 #include "bench/bench_common.h"
 
 int main() {
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
+  const robustness::SweepOptions sweep_options = bench::SweepOptionsFromEnv();
   std::printf(
       "Table 3 / Table 10 reproduction: link prediction on the 15 benchmark "
       "datasets\n(runs=%d, feature_dim=%lld; paper settings: 3 runs, dim "
       "172)\n\n",
       grid.runs, static_cast<long long>(grid.feature_dim));
 
-  core::Leaderboard auc_board, ap_board;
   std::vector<std::string> model_names, dataset_names;
-  for (models::ModelKind kind : models::PaperModels()) {
+  const std::vector<models::ModelKind> kinds = models::PaperModels();
+  for (models::ModelKind kind : kinds) {
     model_names.push_back(models::ModelKindName(kind));
   }
-  const std::vector<models::ModelKind> kinds = models::PaperModels();
-  for (const datagen::DatasetSpec& spec :
-       bench::SelectedDatasets(datagen::MainDatasets())) {
+
+  // Jobs hold references to their dataset spec and graph, so both live in
+  // containers with stable addresses for the whole sweep.
+  const std::vector<datagen::DatasetSpec> specs =
+      bench::SelectedDatasets(datagen::MainDatasets());
+  std::deque<graph::TemporalGraph> graphs;
+  std::vector<robustness::SweepJob> jobs;
+  for (const datagen::DatasetSpec& spec : specs) {
     dataset_names.push_back(spec.name);
-    graph::TemporalGraph g = bench::LoadBenchmark(spec, grid);
-    // Models of one dataset train concurrently (runtime pool); results land
-    // in per-model slots and are pushed serially for deterministic order.
-    std::vector<bench::AggregatedLp> aggs(kinds.size());
-    bench::ForEachModelParallel(kinds, [&](models::ModelKind kind,
-                                           int64_t slot) {
-      aggs[static_cast<size_t>(slot)] =
-          bench::RunAggregatedLp(spec, g, kind, grid);
-      std::fprintf(stderr, "done %s / %s%s\n", spec.name.c_str(),
-                   models::ModelKindName(kind),
-                   aggs[static_cast<size_t>(slot)].annotation.c_str());
-    });
-    for (size_t i = 0; i < kinds.size(); ++i) {
-      bench::PushToLeaderboard(&auc_board, models::ModelKindName(kinds[i]),
-                               spec.name, aggs[i], "AUC");
-      bench::PushToLeaderboard(&ap_board, models::ModelKindName(kinds[i]),
-                               spec.name, aggs[i], "AP");
+    graphs.push_back(bench::LoadBenchmark(spec, grid));
+    for (models::ModelKind kind : kinds) {
+      jobs.push_back(bench::MakeLpSweepJob(spec, graphs.back(), kind, grid,
+                                           sweep_options));
     }
+  }
+
+  core::Leaderboard board;
+  const robustness::SweepReport report =
+      robustness::RunSweep(jobs, sweep_options, &board);
+  std::fprintf(stderr, "sweep: %d ran, %d resumed from manifest, %d failed\n",
+               report.ran, report.skipped, report.failed);
+
+  const std::string csv_out = bench::EnvStr("BENCHTEMP_CSV_OUT");
+  if (!csv_out.empty() && !board.WriteCsv(csv_out)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_out.c_str());
+    return 1;
   }
 
   for (int s = 0; s < 4; ++s) {
     const char* setting = core::SettingName(static_cast<core::Setting>(s));
     std::printf("=== ROC AUC, %s ===\n", setting);
     std::printf("%s\n",
-                auc_board
+                board
                     .FormatTable(model_names, dataset_names,
                                  "link_prediction", setting, "AUC")
                     .c_str());
@@ -59,7 +73,7 @@ int main() {
     const char* setting = core::SettingName(static_cast<core::Setting>(s));
     std::printf("=== AP (Table 10), %s ===\n", setting);
     std::printf("%s\n",
-                ap_board
+                board
                     .FormatTable(model_names, dataset_names,
                                  "link_prediction", setting, "AP")
                     .c_str());

@@ -1,8 +1,12 @@
 #include "core/data_loader.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
 #include <unordered_set>
 
+#include "tensor/optimizer.h"
 #include "tensor/random.h"
 
 namespace benchtemp::core {
@@ -51,10 +55,45 @@ const std::vector<int64_t>& LinkPredictionSplit::ValSet(
   return val_events;
 }
 
+std::string ValidateGraph(const graph::TemporalGraph& graph) {
+  std::ostringstream err;
+  if (graph.num_events() == 0) {
+    return "graph has no events";
+  }
+  double prev_ts = -std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < graph.num_events(); ++i) {
+    const graph::Interaction& e = graph.event(i);
+    if (e.src < 0 || e.src >= graph.num_nodes() || e.dst < 0 ||
+        e.dst >= graph.num_nodes()) {
+      err << "event " << i << ": node id out of range [0, "
+          << graph.num_nodes() << "): src=" << e.src << " dst=" << e.dst;
+      return err.str();
+    }
+    if (!std::isfinite(e.ts)) {
+      err << "event " << i << ": non-finite timestamp";
+      return err.str();
+    }
+    if (e.ts < prev_ts) {
+      err << "event " << i << ": timestamps not chronological (" << e.ts
+          << " after " << prev_ts << "); sort the stream by time first";
+      return err.str();
+    }
+    prev_ts = e.ts;
+  }
+  if (!tensor::AllFinite(graph.node_features())) {
+    return "node features contain NaN / Inf";
+  }
+  if (!tensor::AllFinite(graph.edge_features())) {
+    return "edge features contain NaN / Inf";
+  }
+  return "";
+}
+
 LinkPredictionSplit SplitLinkPrediction(const graph::TemporalGraph& graph,
                                         const SplitConfig& config) {
-  tensor::CheckOrDie(graph.IsChronological(),
-                     "SplitLinkPrediction: graph must be sorted by time");
+  const std::string invalid = ValidateGraph(graph);
+  tensor::CheckOrDie(invalid.empty(),
+                     ("SplitLinkPrediction: " + invalid).c_str());
   const int64_t n = graph.num_events();
   LinkPredictionSplit split;
   split.val_end = n - static_cast<int64_t>(config.test_fraction *
@@ -140,8 +179,9 @@ SetStats ComputeSetStats(const graph::TemporalGraph& graph,
 
 NodeClassificationSplit SplitNodeClassification(
     const graph::TemporalGraph& graph, const SplitConfig& config) {
-  tensor::CheckOrDie(graph.IsChronological(),
-                     "SplitNodeClassification: graph must be sorted by time");
+  const std::string invalid = ValidateGraph(graph);
+  tensor::CheckOrDie(invalid.empty(),
+                     ("SplitNodeClassification: " + invalid).c_str());
   const int64_t n = graph.num_events();
   const int64_t val_end = n - static_cast<int64_t>(config.test_fraction *
                                                    static_cast<double>(n));

@@ -35,6 +35,16 @@ enum class Setting {
 /// Human-readable setting name ("Transductive", ...).
 const char* SettingName(Setting setting);
 
+/// Input validation for user-supplied datasets, run by every Split function
+/// before touching the event stream. Checks, in order:
+///  * at least one event;
+///  * every endpoint id is inside [0, num_nodes);
+///  * every timestamp is finite and the stream is non-decreasing in time;
+///  * node and edge feature tensors contain no NaN / Inf.
+/// Returns "" for a well-formed graph, otherwise a one-line description of
+/// the first problem (with the offending event index).
+std::string ValidateGraph(const graph::TemporalGraph& graph);
+
 /// Output of the link-prediction DataLoader: event-index lists into the
 /// (chronologically sorted) source graph for every train/val/test variant.
 ///

@@ -29,6 +29,22 @@ class EarlyStopMonitor {
   /// Update() reports, inspectable without mutating the monitor.
   bool stopped() const { return rounds_ >= patience_; }
 
+  /// Serializable monitor progress (part of the robustness layer's job
+  /// checkpoint, so a resumed job keeps its patience budget).
+  struct State {
+    double best_metric = -1e30;
+    int best_epoch = -1;
+    int epoch = 0;
+    int rounds = 0;
+  };
+  State state() const { return {best_metric_, best_epoch_, epoch_, rounds_}; }
+  void Restore(const State& state) {
+    best_metric_ = state.best_metric;
+    best_epoch_ = state.best_epoch;
+    epoch_ = state.epoch;
+    rounds_ = state.rounds;
+  }
+
  private:
   int patience_;
   double tolerance_;

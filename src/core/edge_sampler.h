@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -39,6 +40,13 @@ class RandomEdgeSampler : public EdgeSampler {
   std::vector<int32_t> SampleNegatives(
       const std::vector<int32_t>& srcs) override;
   void Reset() override;
+
+  /// Serialized RNG state for job checkpointing: the training sampler's
+  /// stream advances across epochs, so resume must restore its position.
+  std::string SaveRngState() const { return rng_.SaveState(); }
+  bool LoadRngState(const std::string& state) {
+    return rng_.LoadState(state);
+  }
 
  private:
   int32_t dst_lo_;

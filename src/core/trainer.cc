@@ -4,12 +4,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <thread>
 #include <unordered_set>
 
 #include "core/early_stop.h"
 #include "core/evaluator.h"
 #include "graph/neighbor_finder.h"
+#include "robustness/checkpoint.h"
+#include "robustness/fault_injector.h"
 #include "tensor/optimizer.h"
+#include "tensor/serialize.h"
 
 namespace benchtemp::core {
 
@@ -100,6 +108,26 @@ void ReplayState(TgnnModel* model, const TemporalGraph& graph,
   }
 }
 
+/// True when the job's watchdog (if any) has expired.
+bool Canceled(const TrainConfig& tc) {
+  return tc.cancel_token != nullptr &&
+         tc.cancel_token->load(std::memory_order_relaxed);
+}
+
+/// Fault-injection probes shared by both task loops: an injected stall
+/// (trips the watchdog) and an injected forward-pass crash (caught at the
+/// sweep's job boundary).
+void ProbeBatchFaults() {
+  auto& injector = robustness::FaultInjector::Global();
+  if (injector.Fire(robustness::FaultSite::kStallBatch)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(injector.stall_ms()));
+  }
+  if (injector.Fire(robustness::FaultSite::kThrowForward)) {
+    throw std::runtime_error("injected fault: forward pass");
+  }
+}
+
 }  // namespace
 
 double MaxRssGb() {
@@ -161,15 +189,94 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
   const double start = NowSeconds();
   double total_epoch_seconds = 0.0;
   int epochs_run = 0;
+  int nan_retries = 0;
   bool hit_budget = false;
+  bool canceled = false;
+  bool diverged = false;
   const int max_epochs = model->trainable() ? tc.max_epochs : 1;
+  const std::vector<Var> params = model->Parameters();
+  const bool checkpointing =
+      model->trainable() && !tc.checkpoint_path.empty();
+  // The checkpoint only outlives the job when the job dies mid-flight; any
+  // terminal exit (success, "*", "x") retires it.
+  auto retire_checkpoint = [&] {
+    if (checkpointing) std::remove(tc.checkpoint_path.c_str());
+  };
 
-  for (int epoch = 0; epoch < max_epochs; ++epoch) {
+  // Parameters at the monitor's best epoch; restored before the test pass
+  // so early stopping evaluates the best — not the last — weights.
+  std::string best_params;
+
+  // Snapshot/restore of everything that makes an epoch boundary a
+  // deterministic cut point: parameters, Adam moments, both RNG streams,
+  // the monitor, and the (possibly backed-off) learning rate. Used both
+  // for in-memory rollback after a NaN event and for the on-disk job
+  // checkpoint.
+  auto snapshot_now = [&]() {
+    robustness::JobCheckpoint s;
+    s.seed = tc.seed;
+    s.learning_rate = optimizer.learning_rate();
+    s.monitor = monitor.state();
+    s.val_auc = result.val_transductive.auc;
+    s.val_ap = result.val_transductive.ap;
+    s.val_count = result.val_transductive.count;
+    s.model_rng = model->SaveRngState();
+    s.sampler_rng = train_sampler.SaveRngState();
+    s.params = tensor::SnapshotParameters(params);
+    s.adam = optimizer.SnapshotState();
+    s.best_params = best_params;
+    return s;
+  };
+  auto restore_from = [&](const robustness::JobCheckpoint& s) {
+    if (!tensor::RestoreParameters(s.params, params)) return false;
+    if (!optimizer.RestoreState(s.adam)) return false;
+    // Grad-buffer allocation is trajectory state: Adam skips parameters whose
+    // lazily allocated grad buffer is still empty, but applies momentum decay
+    // to ones that were touched in an earlier epoch and merely zeroed since.
+    // Pre-allocating every buffer makes a restored process bit-identical to
+    // the uninterrupted one (a zero grad with zero moments is an exact no-op).
+    for (const Var& p : params) p->EnsureGrad();
+    if (!model->LoadRngState(s.model_rng)) return false;
+    if (!train_sampler.LoadRngState(s.sampler_rng)) return false;
+    optimizer.set_learning_rate(s.learning_rate);
+    monitor.Restore(s.monitor);
+    result.val_transductive.auc = s.val_auc;
+    result.val_transductive.ap = s.val_ap;
+    result.val_transductive.count = s.val_count;
+    best_params = s.best_params;
+    return true;
+  };
+
+  int epoch = 0;
+  robustness::JobCheckpoint rollback = snapshot_now();
+
+  // Resume: a matching on-disk checkpoint restarts the job exactly where
+  // it died instead of from scratch.
+  if (checkpointing) {
+    robustness::JobCheckpoint ckpt;
+    if (robustness::LoadJobCheckpoint(tc.checkpoint_path, &ckpt) &&
+        ckpt.seed == tc.seed && restore_from(ckpt)) {
+      epoch = ckpt.next_epoch;
+      epochs_run = ckpt.epochs_run;
+      nan_retries = ckpt.nan_retries;
+      total_epoch_seconds = ckpt.total_epoch_seconds;
+      rollback = snapshot_now();
+      result.resumed = true;
+    }
+  }
+
+  while (epoch < max_epochs) {
     const double epoch_start = NowSeconds();
+    bool nan_event = false;
     model->Reset();
     model->set_training(true);
     model->SetNeighborFinder(&train_finder);
     for (const Batch& batch : train_batches) {
+      if (Canceled(tc)) {
+        canceled = true;
+        break;
+      }
+      ProbeBatchFaults();
       const std::vector<int32_t> negatives =
           train_sampler.SampleNegatives(batch.srcs);
       Var pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
@@ -177,6 +284,8 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
       if (model->status() == ModelStatus::kRuntimeError) {
         result.status = ModelStatus::kRuntimeError;
         result.annotation = "*";
+        result.nan_retries = nan_retries;
+        retire_checkpoint();
         return result;
       }
       if (model->trainable()) {
@@ -185,12 +294,49 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
         Tensor zeros({neg->value.size()});
         Var loss = ScalarMul(
             Add(BceWithLogits(pos, ones), BceWithLogits(neg, zeros)), 0.5f);
+        // NaN/Inf sentinel 1: a non-finite loss means this step would
+        // poison the parameters — bail out before touching them.
+        bool finite = tensor::AllFinite(loss->value);
+        if (robustness::FaultInjector::Global().Fire(
+                robustness::FaultSite::kNanLoss)) {
+          finite = false;
+        }
+        if (!finite) {
+          nan_event = true;
+          break;
+        }
         optimizer.ZeroGrad();
         Backward(loss);
-        tensor::ClipGradNorm(model->Parameters(), tc.grad_clip_norm);
+        // Sentinel 2: gradients can overflow even under a finite loss.
+        if (!tensor::GradsFinite(params)) {
+          nan_event = true;
+          break;
+        }
+        tensor::ClipGradNorm(params, tc.grad_clip_norm);
         optimizer.Step();
+        // Sentinel 3: the Adam update itself (tiny v̂, large m̂) can still
+        // push a parameter out of range.
+        if (!tensor::ParamsFinite(params)) {
+          nan_event = true;
+          break;
+        }
       }
       model->UpdateState(batch);
+    }
+    if (canceled) break;
+    if (nan_event) {
+      // Divergence recovery: roll back to the last epoch boundary, halve
+      // the learning rate, and retry — a recorded, recoverable event
+      // instead of a poisoned sweep.
+      ++nan_retries;
+      const bool restored = restore_from(rollback);
+      tensor::CheckOrDie(restored, "NaN rollback: corrupt epoch snapshot");
+      if (nan_retries > tc.max_nan_retries) {
+        diverged = true;
+        break;
+      }
+      optimizer.set_learning_rate(optimizer.learning_rate() * tc.lr_backoff);
+      continue;  // retry the same epoch
     }
     total_epoch_seconds += NowSeconds() - epoch_start;
     ++epochs_run;
@@ -205,18 +351,64 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
     if (model->status() == ModelStatus::kRuntimeError) {
       result.status = ModelStatus::kRuntimeError;
       result.annotation = "*";
+      result.nan_retries = nan_retries;
+      retire_checkpoint();
       return result;
     }
     result.val_transductive =
         SubsetMetrics(split.val_events, split.val_events, val_pos, val_neg);
-    if (model->trainable() && monitor.Update(result.val_transductive.auc)) {
-      break;
+    bool stop = false;
+    if (model->trainable()) {
+      stop = monitor.Update(result.val_transductive.auc);
+      if (monitor.rounds_without_improvement() == 0) {
+        best_params = tensor::SnapshotParameters(params);
+      }
     }
+    ++epoch;
+    rollback = snapshot_now();
+    if (checkpointing) {
+      rollback.next_epoch = epoch;
+      rollback.epochs_run = epochs_run;
+      rollback.nan_retries = nan_retries;
+      rollback.total_epoch_seconds = total_epoch_seconds;
+      robustness::SaveJobCheckpoint(tc.checkpoint_path, rollback);
+    }
+    if (stop) break;
     if (tc.time_budget_seconds > 0.0 &&
         NowSeconds() - start > tc.time_budget_seconds) {
       hit_budget = true;
       break;
     }
+    if (Canceled(tc)) {
+      canceled = true;
+      break;
+    }
+  }
+  result.nan_retries = nan_retries;
+
+  if (canceled || diverged) {
+    // Watchdog deadline or exhausted NaN-retry budget: record the paper's
+    // non-convergence marker and skip the (expensive) test pass.
+    result.annotation = "x";
+    EfficiencyStats& eff = result.efficiency;
+    eff.epochs_run = epochs_run;
+    eff.best_epoch = monitor.best_epoch();
+    eff.converged = false;
+    eff.seconds_per_epoch =
+        epochs_run > 0 ? total_epoch_seconds / epochs_run : 0.0;
+    eff.max_rss_gb = MaxRssGb();
+    eff.state_bytes = model->StateBytes();
+    eff.parameter_bytes = model->ParameterBytes();
+    retire_checkpoint();
+    return result;
+  }
+
+  // Evaluate the best epoch's weights, not the last: early stopping keeps
+  // training `patience` epochs past the peak, and those extra updates
+  // should not leak into the test metrics.
+  if (model->trainable() && !best_params.empty()) {
+    const bool restored = tensor::RestoreParameters(best_params, params);
+    tensor::CheckOrDie(restored, "best-epoch restore: corrupt snapshot");
   }
 
   // Final evaluation: rebuild state over train+val, then one chronological
@@ -237,6 +429,7 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
   if (model->status() == ModelStatus::kRuntimeError) {
     result.status = ModelStatus::kRuntimeError;
     result.annotation = "*";
+    retire_checkpoint();
     return result;
   }
 
@@ -273,6 +466,7 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
   if (model->trainable() && !eff.converged && hit_budget) {
     result.annotation = "x";
   }
+  retire_checkpoint();
   return result;
 }
 
@@ -311,6 +505,11 @@ NodeClassificationResult RunNodeClassification(
     model->set_training(true);
     model->SetNeighborFinder(&full_finder);
     for (const Batch& batch : train_batches) {
+      if (Canceled(tc)) {
+        result.annotation = "x";
+        return result;
+      }
+      ProbeBatchFaults();
       const std::vector<int32_t> negatives =
           train_sampler.SampleNegatives(batch.srcs);
       Var pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
@@ -404,7 +603,14 @@ NodeClassificationResult RunNodeClassification(
   EarlyStopMonitor monitor(std::max(tc.patience, 8), tc.tolerance);
   double decoder_seconds = 0.0;
   int decoder_epochs_run = 0;
+  // Decoder weights at the monitor's best epoch, restored before the test
+  // metrics so early stopping evaluates the peak — not the last — decoder.
+  std::string best_decoder;
   for (int epoch = 0; epoch < job.decoder_epochs; ++epoch) {
+    if (Canceled(tc)) {
+      result.annotation = "x";
+      return result;
+    }
     const double epoch_start = NowSeconds();
     Var logits = decoder.Forward(tensor::Constant(x_train));
     Var loss;
@@ -439,7 +645,16 @@ NodeClassificationResult RunNodeClassification(
           }
           return Accuracy(pred, actual);
         }();
-    if (monitor.Update(val_metric)) break;
+    const bool stop = monitor.Update(val_metric);
+    if (monitor.rounds_without_improvement() == 0) {
+      best_decoder = tensor::SnapshotParameters(decoder.Parameters());
+    }
+    if (stop) break;
+  }
+  if (!best_decoder.empty()) {
+    const bool restored =
+        tensor::RestoreParameters(best_decoder, decoder.Parameters());
+    tensor::CheckOrDie(restored, "best-decoder restore: corrupt snapshot");
   }
 
   // Test metrics.

@@ -2,6 +2,7 @@
 #define BENCHTEMP_CORE_TRAINER_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,6 +30,26 @@ struct TrainConfig {
   /// cannot-converge marker) in the Epoch column.
   double time_budget_seconds = 0.0;
   float grad_clip_norm = 5.0f;
+
+  // --- Robustness layer (see DESIGN.md "Failure model") ---
+
+  /// NaN/Inf sentinel: when the loss, a gradient, or a parameter goes
+  /// non-finite, the trainer rolls back to the last epoch boundary,
+  /// multiplies the learning rate by `lr_backoff`, and retries the epoch.
+  /// After `max_nan_retries` failed recoveries the job is annotated "x"
+  /// (non-convergence) instead of aborting the sweep.
+  int max_nan_retries = 3;
+  float lr_backoff = 0.5f;
+  /// Job checkpoint path; "" disables on-disk checkpointing. When the file
+  /// exists and matches this job's seed, training resumes from it and
+  /// replays the exact trajectory an uninterrupted run would have taken.
+  /// The file is written atomically at every epoch boundary and removed
+  /// when the job completes.
+  std::string checkpoint_path;
+  /// Cooperative cancellation (a watchdog's deadline flag), polled at
+  /// batch boundaries; when it goes true the job winds down with the "x"
+  /// annotation. Non-owning; may be null.
+  const std::atomic<bool>* cancel_token = nullptr;
 };
 
 /// Efficiency measurements — the CPU stand-ins for the paper's Table 4/12
@@ -60,12 +81,18 @@ struct SettingMetrics {
 /// Result of one link-prediction job (one model x one dataset).
 struct LinkPredictionResult {
   models::ModelStatus status = models::ModelStatus::kOk;
-  /// "" ok; "*" runtime error (paper Table 3); "x" no convergence.
+  /// "" ok; "*" runtime error (paper Table 3); "x" no convergence (either
+  /// budget/deadline exhaustion or a NaN-retry budget spent).
   std::string annotation;
   /// Indexed by static_cast<int>(Setting).
   std::array<SettingMetrics, 4> test;
   SettingMetrics val_transductive;
   EfficiencyStats efficiency;
+  /// NaN/Inf recovery events consumed during training (rollback + LR
+  /// backoff); > 0 means the job diverged at least once and recovered.
+  int nan_retries = 0;
+  /// True when the job restarted from an on-disk checkpoint.
+  bool resumed = false;
 };
 
 /// One link-prediction job description.

@@ -1,6 +1,9 @@
 #include "datagen/csv.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -26,11 +29,47 @@ bool SaveCsv(const graph::TemporalGraph& graph, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool LoadCsv(const std::string& path, graph::TemporalGraph* graph) {
+namespace {
+
+/// Whole-field integer parse; no exceptions, no partial matches.
+bool ParseInt(const std::string& field, long* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = value;
+  return true;
+}
+
+/// Whole-field floating-point parse; accepts only finite values.
+bool ParseFinite(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size() || !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool Fail(CsvError* error, int64_t line, const std::string& message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LoadCsv(const std::string& path, graph::TemporalGraph* graph,
+             CsvError* error) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) return Fail(error, 0, "cannot open " + path);
   std::string line;
-  if (!std::getline(in, line)) return false;
+  if (!std::getline(in, line)) return Fail(error, 0, "empty file");
   // Count feature columns from the header.
   int64_t edge_dim = 0;
   {
@@ -38,24 +77,46 @@ bool LoadCsv(const std::string& path, graph::TemporalGraph* graph) {
     std::string field;
     int64_t columns = 0;
     while (std::getline(header, field, ',')) ++columns;
-    if (columns < 4) return false;
+    if (columns < 4) {
+      return Fail(error, 1, "header needs at least src,dst,ts,label");
+    }
     edge_dim = columns - 4;
   }
   std::vector<float> feature_rows;
+  int64_t line_no = 1;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     std::stringstream row(line);
     std::string field;
     std::vector<std::string> fields;
     while (std::getline(row, field, ',')) fields.push_back(field);
-    if (static_cast<int64_t>(fields.size()) != 4 + edge_dim) return false;
-    const int32_t src = static_cast<int32_t>(std::stol(fields[0]));
-    const int32_t dst = static_cast<int32_t>(std::stol(fields[1]));
-    const double ts = std::stod(fields[2]);
-    const int32_t label = static_cast<int32_t>(std::stol(fields[3]));
-    graph->AddInteraction(src, dst, ts, label);
+    if (static_cast<int64_t>(fields.size()) != 4 + edge_dim) {
+      return Fail(error, line_no, "wrong column count");
+    }
+    long src = 0, dst = 0, label = 0;
+    double ts = 0.0;
+    if (!ParseInt(fields[0], &src) || !ParseInt(fields[1], &dst)) {
+      return Fail(error, line_no, "malformed node id");
+    }
+    if (src < 0 || dst < 0) {
+      return Fail(error, line_no, "negative node id");
+    }
+    if (!ParseFinite(fields[2], &ts)) {
+      return Fail(error, line_no, "malformed or non-finite timestamp");
+    }
+    if (!ParseInt(fields[3], &label)) {
+      return Fail(error, line_no, "malformed label");
+    }
+    graph->AddInteraction(static_cast<int32_t>(src),
+                          static_cast<int32_t>(dst), ts,
+                          static_cast<int32_t>(label));
     for (int64_t c = 0; c < edge_dim; ++c) {
-      feature_rows.push_back(std::stof(fields[static_cast<size_t>(4 + c)]));
+      double feature = 0.0;
+      if (!ParseFinite(fields[static_cast<size_t>(4 + c)], &feature)) {
+        return Fail(error, line_no, "malformed or non-finite feature");
+      }
+      feature_rows.push_back(static_cast<float>(feature));
     }
   }
   if (edge_dim > 0) {
@@ -64,6 +125,10 @@ bool LoadCsv(const std::string& path, graph::TemporalGraph* graph) {
   }
   graph->SortByTime();
   return true;
+}
+
+bool LoadCsv(const std::string& path, graph::TemporalGraph* graph) {
+  return LoadCsv(path, graph, nullptr);
 }
 
 }  // namespace benchtemp::datagen

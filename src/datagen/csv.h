@@ -12,10 +12,25 @@ namespace benchtemp::datagen {
 /// graph has edge features. Returns false on I/O failure.
 bool SaveCsv(const graph::TemporalGraph& graph, const std::string& path);
 
+/// Parse failure details: the 1-based line of the first rejected row
+/// (0 for file-level problems such as a missing header) and a description.
+struct CsvError {
+  int64_t line = 0;
+  std::string message;
+};
+
 /// Loads an interaction stream produced by SaveCsv (or a user-supplied CSV
 /// with the same header). The Dataset module of the pipeline accepts graphs
 /// from this loader, mirroring BenchTemp's support for user-generated
-/// benchmark datasets. Returns false on parse or I/O failure.
+/// benchmark datasets.
+///
+/// Rows are validated as they are parsed — malformed numbers, negative node
+/// ids, non-finite timestamps, and NaN / Inf features are all rejected with
+/// the offending line number rather than silently ingested (or crashing the
+/// sweep later). Returns false on parse or I/O failure; when `error` is
+/// non-null it receives the first problem found.
+bool LoadCsv(const std::string& path, graph::TemporalGraph* graph,
+             CsvError* error);
 bool LoadCsv(const std::string& path, graph::TemporalGraph* graph);
 
 }  // namespace benchtemp::datagen

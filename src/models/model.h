@@ -130,6 +130,13 @@ class TgnnModel {
   /// Total parameter bytes (float32).
   int64_t ParameterBytes() const;
 
+  /// Serialized neighbor-sampling RNG state for job checkpointing: a
+  /// resumed job replays the exact draws an uninterrupted run would make.
+  std::string SaveRngState() const { return rng_.SaveState(); }
+  bool LoadRngState(const std::string& state) {
+    return rng_.LoadState(state);
+  }
+
  protected:
   /// Creates the MergeLayer edge scorer once the embedding width is known.
   void InitPredictor(int64_t dim_src, int64_t dim_dst, tensor::Rng& rng);

@@ -1,0 +1,77 @@
+#ifndef BENCHTEMP_ROBUSTNESS_CHECKPOINT_H_
+#define BENCHTEMP_ROBUSTNESS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/early_stop.h"
+
+namespace benchtemp::robustness {
+
+/// Atomically replaces the file at `path` with `payload`: the bytes are
+/// written to `path + ".tmp"`, flushed, and renamed over `path`, so a crash
+/// at any instant leaves either the complete old file or the complete new
+/// file — never a torn one. Returns false on I/O failure (the previous
+/// file, if any, is untouched).
+///
+/// Probes FaultSite::kCheckpointRename between write and rename, which lets
+/// the fault-injection tests simulate a kill mid-checkpoint.
+bool AtomicWriteFile(const std::string& path, const std::string& payload);
+
+/// Reads a whole file into `payload`. Returns false when the file cannot be
+/// opened.
+bool ReadFile(const std::string& path, std::string* payload);
+
+/// A full training-job checkpoint: everything RunLinkPrediction needs to
+/// continue from an epoch boundary exactly as an uninterrupted run would.
+///
+/// The blobs are opaque sections produced by the tensor layer
+/// (SnapshotParameters / Adam::SnapshotState) and the RNG engines
+/// (Rng::SaveState); the trainer owns their interpretation. Temporal model
+/// state (memory tables, caches) is deliberately absent — each epoch
+/// rebuilds it by replaying the event stream, so the epoch boundary is a
+/// natural cut point.
+///
+/// On-disk format (version 1): magic "BTJC", uint32 version, the fixed
+/// meta fields, five length-prefixed blob sections, and a trailing FNV-1a
+/// checksum of everything before it. Loading verifies magic, version, and
+/// checksum, so a corrupt or truncated checkpoint is rejected as a whole.
+struct JobCheckpoint {
+  /// Epoch to run next (epochs [0, next_epoch) are complete).
+  int32_t next_epoch = 0;
+  int32_t epochs_run = 0;
+  /// NaN-retry budget already consumed.
+  int32_t nan_retries = 0;
+  /// Learning rate in effect (after any retry backoff).
+  float learning_rate = 0.0f;
+  /// Wall-clock training time accumulated before the interruption.
+  double total_epoch_seconds = 0.0;
+  /// Job seed, sanity-checked on resume so a checkpoint is never applied
+  /// to a different job configuration.
+  uint64_t seed = 0;
+  core::EarlyStopMonitor::State monitor;
+  /// Last completed epoch's validation metrics, so a resume that lands
+  /// exactly on the final epoch boundary reports what the uninterrupted
+  /// run would have.
+  double val_auc = 0.5;
+  double val_ap = 0.5;
+  int64_t val_count = 0;
+
+  std::string model_rng;     // model's neighbor-sampling engine
+  std::string sampler_rng;   // training negative sampler engine
+  std::string params;        // current parameters (SnapshotParameters)
+  std::string adam;          // optimizer moments (Adam::SnapshotState)
+  std::string best_params;   // best-epoch parameters; empty if none yet
+};
+
+/// Serializes `ckpt` and writes it atomically. Returns false on I/O
+/// failure (including an injected crash before the rename).
+bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt);
+
+/// Loads and verifies a checkpoint. Returns false (out untouched) when the
+/// file is missing, corrupt, truncated, or of an unknown version.
+bool LoadJobCheckpoint(const std::string& path, JobCheckpoint* out);
+
+}  // namespace benchtemp::robustness
+
+#endif  // BENCHTEMP_ROBUSTNESS_CHECKPOINT_H_

@@ -1,0 +1,154 @@
+#include "robustness/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace benchtemp::robustness {
+
+namespace {
+
+int SiteIndex(FaultSite site) { return static_cast<int>(site); }
+
+bool ParseSiteName(const std::string& name, FaultSite* site) {
+  if (name == "nan_loss") {
+    *site = FaultSite::kNanLoss;
+  } else if (name == "throw_forward") {
+    *site = FaultSite::kThrowForward;
+  } else if (name == "stall_batch") {
+    *site = FaultSite::kStallBatch;
+  } else if (name == "crash_checkpoint") {
+    *site = FaultSite::kCheckpointRename;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kNanLoss:
+      return "nan_loss";
+    case FaultSite::kThrowForward:
+      return "throw_forward";
+    case FaultSite::kStallBatch:
+      return "stall_batch";
+    case FaultSite::kCheckpointRename:
+      return "crash_checkpoint";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    const char* env = std::getenv("BENCHTEMP_FAULTS");
+    if (env != nullptr && env[0] != '\0') inj->Configure(env);
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultSite site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int i = SiteIndex(site);
+  specs_[static_cast<size_t>(i)] = spec;
+  probes_[static_cast<size_t>(i)] = 0;
+  fires_[static_cast<size_t>(i)] = 0;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    specs_[i] = FaultSpec{};
+    probes_[i] = 0;
+    fires_[i] = 0;
+  }
+}
+
+bool FaultInjector::Configure(const std::string& spec) {
+  bool ok = true;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    FaultSpec parsed;
+    if (entry.size() > 5 && entry.substr(entry.size() - 5) == "!kill") {
+      parsed.kill_process = true;
+      entry = entry.substr(0, entry.size() - 5);
+    }
+    const size_t at = entry.find('@');
+    FaultSite site;
+    if (at == std::string::npos || !ParseSiteName(entry.substr(0, at), &site)) {
+      ok = false;
+      continue;
+    }
+    // step[:count[:stall_ms]]
+    std::string rest = entry.substr(at + 1);
+    char* cursor = nullptr;
+    parsed.at_step = std::strtol(rest.c_str(), &cursor, 10);
+    if (cursor == rest.c_str()) {
+      ok = false;
+      continue;
+    }
+    if (*cursor == ':') {
+      const char* start = cursor + 1;
+      parsed.count = std::strtol(start, &cursor, 10);
+      if (cursor == start) {
+        ok = false;
+        continue;
+      }
+    }
+    if (*cursor == ':') {
+      const char* start = cursor + 1;
+      parsed.stall_ms = std::strtol(start, &cursor, 10);
+      if (cursor == start) {
+        ok = false;
+        continue;
+      }
+    }
+    Arm(site, parsed);
+  }
+  return ok;
+}
+
+bool FaultInjector::Fire(FaultSite site) {
+  bool kill = false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t i = static_cast<size_t>(SiteIndex(site));
+    const FaultSpec& spec = specs_[i];
+    const int64_t step = probes_[i]++;
+    if (spec.at_step >= 0 && step >= spec.at_step &&
+        step < spec.at_step + spec.count) {
+      fired = true;
+      ++fires_[i];
+      kill = spec.kill_process;
+    }
+  }
+  if (fired && kill) {
+    // Simulate SIGKILL: no destructors, no flushing — the on-disk state
+    // must already be crash-consistent.
+    _exit(137);
+  }
+  return fired;
+}
+
+int64_t FaultInjector::stall_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return specs_[static_cast<size_t>(SiteIndex(FaultSite::kStallBatch))]
+      .stall_ms;
+}
+
+int64_t FaultInjector::fire_count(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fires_[static_cast<size_t>(SiteIndex(site))];
+}
+
+}  // namespace benchtemp::robustness

@@ -1,0 +1,93 @@
+#ifndef BENCHTEMP_ROBUSTNESS_FAULT_INJECTOR_H_
+#define BENCHTEMP_ROBUSTNESS_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace benchtemp::robustness {
+
+/// Instrumented failure points of the pipeline. Each site is probed by the
+/// code that owns it (trainer, checkpoint writer); the injector decides
+/// whether the probe fires.
+enum class FaultSite {
+  /// Poison the training loss with NaN (probed once per optimizer step).
+  kNanLoss,
+  /// Throw from the forward pass (probed once per training batch).
+  kThrowForward,
+  /// Stall a training batch (probed once per batch; trips the watchdog).
+  kStallBatch,
+  /// Fail a checkpoint between temp-file write and rename (probed once per
+  /// atomic file commit) — the old checkpoint must survive.
+  kCheckpointRename,
+};
+inline constexpr int kNumFaultSites = 4;
+
+/// Human-readable site name ("nan_loss", ...).
+const char* FaultSiteName(FaultSite site);
+
+/// What an armed site does when its trigger step is reached.
+struct FaultSpec {
+  /// Probe index (0-based) at which the fault fires; -1 = disarmed.
+  int64_t at_step = -1;
+  /// Number of consecutive probes that fire from `at_step` on.
+  int64_t count = 1;
+  /// kStallBatch only: milliseconds to sleep when firing.
+  int64_t stall_ms = 0;
+  /// When true the process exits hard (_exit(137), SIGKILL-like) instead of
+  /// reporting the fault — used to prove crash-consistency of on-disk
+  /// state. Applied only where a real crash is survivable by design.
+  bool kill_process = false;
+};
+
+/// Deterministic, configurable fault injection used by the robustness tests
+/// and the CI fault-injection job to prove every recovery path.
+///
+/// Sites are armed programmatically (tests) or from the BENCHTEMP_FAULTS
+/// environment variable (CI / reproduction runs):
+///
+///   BENCHTEMP_FAULTS="nan_loss@40;stall_batch@5:3:200;crash_checkpoint@1"
+///
+/// Grammar per ';'-separated entry: `site@step[:count[:stall_ms]]`, with an
+/// optional `!kill` suffix for a hard process exit. Sites: nan_loss,
+/// throw_forward, stall_batch, crash_checkpoint.
+///
+/// All probes are thread-safe; per-site probe counters are global to the
+/// process (matching "inject at step k of the run").
+class FaultInjector {
+ public:
+  /// Process-wide injector. Reads BENCHTEMP_FAULTS once on first access.
+  static FaultInjector& Global();
+
+  /// Arms one site. Resets that site's probe counter.
+  void Arm(FaultSite site, FaultSpec spec);
+  /// Disarms every site and clears all counters.
+  void DisarmAll();
+  /// Parses and arms a BENCHTEMP_FAULTS-style spec string. Returns false on
+  /// a malformed entry (well-formed entries before it are still armed).
+  bool Configure(const std::string& spec);
+
+  /// Probes `site`: increments its counter and reports whether the fault
+  /// fires at this step. When the matching spec has kill_process set, the
+  /// process exits hard instead of returning.
+  bool Fire(FaultSite site);
+
+  /// Stall duration of the most recently armed kStallBatch spec.
+  int64_t stall_ms() const;
+
+  /// Number of times `site` actually fired (for test assertions).
+  int64_t fire_count(FaultSite site) const;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mutex_;
+  std::array<FaultSpec, kNumFaultSites> specs_{};
+  std::array<int64_t, kNumFaultSites> probes_{};
+  std::array<int64_t, kNumFaultSites> fires_{};
+};
+
+}  // namespace benchtemp::robustness
+
+#endif  // BENCHTEMP_ROBUSTNESS_FAULT_INJECTOR_H_

@@ -1,0 +1,226 @@
+#include "robustness/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "robustness/watchdog.h"
+#include "runtime/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace benchtemp::robustness {
+
+namespace {
+
+/// Splits one manifest line on '|'; the last field may contain anything
+/// except a newline (failure reasons), so only the first `max_fields - 1`
+/// separators split.
+std::vector<std::string> SplitFields(const std::string& line,
+                                     size_t max_fields) {
+  std::vector<std::string> fields;
+  size_t pos = 0;
+  while (fields.size() + 1 < max_fields) {
+    const size_t bar = line.find('|', pos);
+    if (bar == std::string::npos) break;
+    fields.push_back(line.substr(pos, bar - pos));
+    pos = bar + 1;
+  }
+  fields.push_back(line.substr(pos));
+  return fields;
+}
+
+std::string FormatRecord(const std::string& key,
+                         const core::LeaderboardRecord& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "rec|%s|%s|%s|%s|%s|%s|%.17g|%.17g|%s\n",
+                key.c_str(), r.model.c_str(), r.dataset.c_str(),
+                r.task.c_str(), r.setting.c_str(), r.metric.c_str(), r.mean,
+                r.std, r.annotation.c_str());
+  return buf;
+}
+
+}  // namespace
+
+SweepManifest::SweepManifest(std::string path) : path_(std::move(path)) {}
+
+bool SweepManifest::Load() {
+  completed_.clear();
+  std::ifstream in(path_);
+  if (!in) return true;  // missing manifest == fresh sweep
+  // rec lines accumulate per key; a done line seals the key iff the count
+  // matches. Torn tails (no trailing newline, short fields) are dropped.
+  std::unordered_map<std::string, std::vector<core::LeaderboardRecord>>
+      pending;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("rec|", 0) == 0) {
+      const std::vector<std::string> f = SplitFields(line, 10);
+      if (f.size() != 10) continue;
+      core::LeaderboardRecord r;
+      r.model = f[2];
+      r.dataset = f[3];
+      r.task = f[4];
+      r.setting = f[5];
+      r.metric = f[6];
+      char* end = nullptr;
+      r.mean = std::strtod(f[7].c_str(), &end);
+      if (end == f[7].c_str()) continue;
+      r.std = std::strtod(f[8].c_str(), &end);
+      if (end == f[8].c_str()) continue;
+      r.annotation = f[9];
+      pending[f[1]].push_back(std::move(r));
+    } else if (line.rfind("done|", 0) == 0) {
+      const std::vector<std::string> f = SplitFields(line, 5);
+      if (f.size() != 5) continue;
+      const std::string& key = f[1];
+      char* end = nullptr;
+      const long count = std::strtol(f[2].c_str(), &end, 10);
+      if (end == f[2].c_str()) continue;
+      auto it = pending.find(key);
+      const size_t have = it == pending.end() ? 0 : it->second.size();
+      if (have != static_cast<size_t>(count)) continue;  // torn job: rerun
+      SweepJobResult result;
+      result.key = key;
+      result.failed = f[3] == "1";
+      result.failure_reason = f[4];
+      if (it != pending.end()) {
+        result.records = std::move(it->second);
+        pending.erase(it);
+      }
+      completed_[key] = std::move(result);
+    }
+    // Unknown line types are ignored (forward compatibility).
+  }
+  return true;
+}
+
+bool SweepManifest::IsDone(const std::string& key) const {
+  return completed_.count(key) != 0;
+}
+
+const SweepJobResult* SweepManifest::Find(const std::string& key) const {
+  auto it = completed_.find(key);
+  return it == completed_.end() ? nullptr : &it->second;
+}
+
+bool SweepManifest::Commit(const SweepJobResult& result) {
+  std::string lines;
+  for (const core::LeaderboardRecord& r : result.records) {
+    lines += FormatRecord(result.key, r);
+  }
+  char done[512];
+  std::snprintf(done, sizeof(done), "done|%s|%zu|%d|%s\n",
+                result.key.c_str(), result.records.size(),
+                result.failed ? 1 : 0, result.failure_reason.c_str());
+  lines += done;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return false;
+  out.write(lines.data(), static_cast<std::streamsize>(lines.size()));
+  out.flush();
+  if (!out) return false;
+  completed_[result.key] = result;
+  return true;
+}
+
+SweepReport RunSweep(const std::vector<SweepJob>& jobs,
+                     const SweepOptions& options, core::Leaderboard* board) {
+  tensor::CheckOrDie(board != nullptr, "RunSweep: null leaderboard");
+  SweepManifest manifest(options.manifest_path);
+  const bool stateful = !options.manifest_path.empty();
+  if (stateful) manifest.Load();
+
+  SweepReport report;
+  std::vector<SweepJobResult> results(jobs.size());
+  std::vector<uint8_t> replayed(jobs.size(), 0);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!stateful) continue;
+    const SweepJobResult* done = manifest.Find(jobs[i].key);
+    if (done != nullptr) {
+      results[i] = *done;
+      replayed[i] = 1;
+    }
+  }
+
+  std::mutex manifest_mutex;
+  auto run_one = [&](size_t i) {
+    const SweepJob& job = jobs[i];
+    SweepJobResult result;
+    result.key = job.key;
+    Watchdog watchdog;
+    const std::atomic<bool>* cancel = nullptr;
+    if (options.job_deadline_seconds > 0.0) {
+      watchdog.Arm(options.job_deadline_seconds);
+      cancel = watchdog.cancel_token();
+    }
+    // Crash isolation: one model blowing up degrades to FAILED rows while
+    // the rest of the sweep continues.
+    try {
+      result.records = job.run(cancel);
+    } catch (const std::exception& e) {
+      result.failed = true;
+      result.failure_reason = e.what();
+    } catch (...) {
+      result.failed = true;
+      result.failure_reason = "unknown exception";
+    }
+    watchdog.Disarm();
+    if (result.failed) {
+      for (const std::string& setting : job.settings) {
+        for (const std::string& metric : job.metrics) {
+          core::LeaderboardRecord r;
+          r.model = job.model;
+          r.dataset = job.dataset;
+          r.task = job.task;
+          r.setting = setting;
+          r.metric = metric;
+          r.annotation = "FAILED(" + result.failure_reason + ")";
+          result.records.push_back(std::move(r));
+        }
+      }
+    }
+    if (stateful) {
+      std::lock_guard<std::mutex> lock(manifest_mutex);
+      manifest.Commit(result);
+    }
+    results[i] = std::move(result);
+  };
+
+  if (options.parallel) {
+    runtime::ParallelFor(0, static_cast<int64_t>(jobs.size()), /*grain=*/1,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             if (!replayed[static_cast<size_t>(i)]) {
+                               run_one(static_cast<size_t>(i));
+                             }
+                           }
+                         });
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!replayed[i]) run_one(i);
+    }
+  }
+
+  // Push in jobs order — not completion order — so the leaderboard CSV is
+  // identical however the sweep was interleaved or interrupted.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    for (const core::LeaderboardRecord& r : results[i].records) {
+      board->Add(r);
+    }
+    if (replayed[i]) {
+      ++report.skipped;
+    } else if (results[i].failed) {
+      ++report.failed;
+      ++report.ran;
+    } else {
+      ++report.ran;
+    }
+  }
+  return report;
+}
+
+}  // namespace benchtemp::robustness

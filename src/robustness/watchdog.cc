@@ -1,0 +1,60 @@
+#include "robustness/watchdog.h"
+
+#include <utility>
+
+namespace benchtemp::robustness {
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    armed_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Arm(double seconds, std::function<void()> on_expire) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expired_.store(false, std::memory_order_relaxed);
+  on_expire_ = std::move(on_expire);
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  armed_ = true;
+  if (!thread_.joinable()) thread_ = std::thread([this] { Run(); });
+  cv_.notify_all();
+}
+
+void Watchdog::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  cv_.notify_all();
+}
+
+void Watchdog::Run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return armed_ || shutdown_; });
+    if (shutdown_) return;
+    // Armed: sleep until the deadline, a disarm, a re-arm (which moves the
+    // deadline), or shutdown.
+    const auto target = deadline_;
+    const bool state_changed = cv_.wait_until(
+        lock, target,
+        [this, target] { return !armed_ || shutdown_ || deadline_ != target; });
+    if (state_changed) continue;  // re-evaluate from the top
+    // Deadline passed while still armed.
+    armed_ = false;
+    expired_.store(true, std::memory_order_relaxed);
+    std::function<void()> callback = std::move(on_expire_);
+    on_expire_ = nullptr;
+    if (callback) {
+      lock.unlock();
+      callback();
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace benchtemp::robustness

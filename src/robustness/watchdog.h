@@ -1,0 +1,61 @@
+#ifndef BENCHTEMP_ROBUSTNESS_WATCHDOG_H_
+#define BENCHTEMP_ROBUSTNESS_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace benchtemp::robustness {
+
+/// Per-job deadline enforced by a monitor thread.
+///
+/// Arm() starts (or re-targets) the deadline; when it passes before
+/// Disarm(), the watchdog sets its `expired` flag and invokes the optional
+/// callback. Cancellation is cooperative: the trainer polls the flag (via
+/// TrainConfig::cancel_token) at batch boundaries and winds the job down
+/// with the paper's "x" annotation, so a stalled model degrades to a
+/// recorded non-convergence instead of hanging the whole sweep.
+///
+/// The monitor thread is lazy (spawned on first Arm) and joined by the
+/// destructor. One Watchdog guards one job at a time.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts a deadline `seconds` from now and clears the expired flag.
+  /// `on_expire` (optional) runs on the monitor thread when the deadline
+  /// passes.
+  void Arm(double seconds, std::function<void()> on_expire = {});
+
+  /// Cancels the pending deadline (no-op when already expired or idle).
+  void Disarm();
+
+  /// True once a deadline has passed without being disarmed.
+  bool expired() const { return expired_.load(std::memory_order_relaxed); }
+
+  /// The flag the guarded job polls; stable for the watchdog's lifetime.
+  const std::atomic<bool>* cancel_token() const { return &expired_; }
+
+ private:
+  void Run();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::function<void()> on_expire_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool armed_ = false;
+  bool shutdown_ = false;
+  std::atomic<bool> expired_{false};
+};
+
+}  // namespace benchtemp::robustness
+
+#endif  // BENCHTEMP_ROBUSTNESS_WATCHDOG_H_

@@ -1,8 +1,42 @@
 #include "tensor/optimizer.h"
 
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
 
 namespace benchtemp::tensor {
+
+namespace {
+
+constexpr char kAdamMagic[4] = {'B', 'T', 'A', 'D'};
+
+bool WriteU64(std::ostream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  return static_cast<bool>(out);
+}
+
+bool ReadU64(std::istream& in, uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+bool WriteTensorPayload(std::ostream& out, const Tensor& t) {
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+bool ReadTensorPayload(std::istream& in, std::vector<float>* staged,
+                       int64_t size) {
+  staged->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(staged->data()),
+          static_cast<std::streamsize>(size * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
 
 void Optimizer::ZeroGrad() { tensor::ZeroGrad(params_); }
 
@@ -41,6 +75,60 @@ void Adam::Step() {
   }
 }
 
+bool Adam::SaveStateTo(std::ostream& out) const {
+  out.write(kAdamMagic, sizeof(kAdamMagic));
+  if (!WriteU64(out, static_cast<uint64_t>(t_))) return false;
+  if (!WriteU64(out, m_.size())) return false;
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (!WriteU64(out, static_cast<uint64_t>(m_[i].size()))) return false;
+    if (!WriteTensorPayload(out, m_[i])) return false;
+    if (!WriteTensorPayload(out, v_[i])) return false;
+  }
+  return true;
+}
+
+bool Adam::LoadStateFrom(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kAdamMagic, sizeof(kAdamMagic)) != 0) {
+    return false;
+  }
+  uint64_t step = 0, count = 0;
+  if (!ReadU64(in, &step)) return false;
+  if (!ReadU64(in, &count) || count != m_.size()) return false;
+  // Stage everything before mutating so a truncated stream cannot leave a
+  // half-restored optimizer.
+  std::vector<std::vector<float>> staged_m(m_.size()), staged_v(v_.size());
+  for (size_t i = 0; i < m_.size(); ++i) {
+    uint64_t size = 0;
+    if (!ReadU64(in, &size) ||
+        size != static_cast<uint64_t>(m_[i].size())) {
+      return false;
+    }
+    if (!ReadTensorPayload(in, &staged_m[i], m_[i].size())) return false;
+    if (!ReadTensorPayload(in, &staged_v[i], v_[i].size())) return false;
+  }
+  t_ = static_cast<int64_t>(step);
+  for (size_t i = 0; i < m_.size(); ++i) {
+    for (int64_t j = 0; j < m_[i].size(); ++j) {
+      m_[i].at(j) = staged_m[i][static_cast<size_t>(j)];
+      v_[i].at(j) = staged_v[i][static_cast<size_t>(j)];
+    }
+  }
+  return true;
+}
+
+std::string Adam::SnapshotState() const {
+  std::ostringstream out(std::ios::binary);
+  SaveStateTo(out);
+  return out.str();
+}
+
+bool Adam::RestoreState(const std::string& blob) {
+  std::istringstream in(blob, std::ios::binary);
+  return LoadStateFrom(in);
+}
+
 Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
   if (momentum_ != 0.0f) {
@@ -62,6 +150,28 @@ void Sgd::Step() {
       p.value.at(j) -= lr_ * update;
     }
   }
+}
+
+bool AllFinite(const Tensor& t) {
+  for (int64_t j = 0; j < t.size(); ++j) {
+    if (!std::isfinite(t.at(j))) return false;
+  }
+  return true;
+}
+
+bool ParamsFinite(const std::vector<Var>& params) {
+  for (const Var& p : params) {
+    if (!AllFinite(p->value)) return false;
+  }
+  return true;
+}
+
+bool GradsFinite(const std::vector<Var>& params) {
+  for (const Var& p : params) {
+    if (p->grad.size() != p->value.size()) continue;  // never touched
+    if (!AllFinite(p->grad)) return false;
+  }
+  return true;
 }
 
 void ClipGradNorm(const std::vector<Var>& params, float max_norm) {

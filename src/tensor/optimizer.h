@@ -1,6 +1,8 @@
 #ifndef BENCHTEMP_TENSOR_OPTIMIZER_H_
 #define BENCHTEMP_TENSOR_OPTIMIZER_H_
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "tensor/autograd.h"
@@ -33,6 +35,20 @@ class Adam : public Optimizer {
 
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }
+  /// Number of Step() calls applied so far (the bias-correction clock).
+  int64_t step_count() const { return t_; }
+
+  /// Serializes the full update state (step clock + first/second moments)
+  /// so a resumed job reproduces the exact update trajectory. Format:
+  /// magic "BTAD", uint64 step, uint64 param count, per parameter the
+  /// moment payloads. Returns false on I/O failure.
+  bool SaveStateTo(std::ostream& out) const;
+  /// Restores a state written by SaveStateTo. Returns false (state
+  /// untouched) on magic/count/shape mismatch or a truncated stream.
+  bool LoadStateFrom(std::istream& in);
+  /// In-memory blob variants of SaveStateTo / LoadStateFrom.
+  std::string SnapshotState() const;
+  bool RestoreState(const std::string& blob);
 
  private:
   float lr_;
@@ -60,6 +76,17 @@ class Sgd : public Optimizer {
 
 /// Clips the global L2 norm of the parameters' gradients to `max_norm`.
 void ClipGradNorm(const std::vector<Var>& params, float max_norm);
+
+/// True when every entry of `t` is finite (no NaN / Inf).
+bool AllFinite(const Tensor& t);
+
+/// True when every parameter value is finite. The trainer's NaN sentinel
+/// checks this after each optimizer step.
+bool ParamsFinite(const std::vector<Var>& params);
+
+/// True when every accumulated gradient entry is finite (parameters whose
+/// gradient buffer was never touched are skipped, matching Step()).
+bool GradsFinite(const std::vector<Var>& params);
 
 }  // namespace benchtemp::tensor
 

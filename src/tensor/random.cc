@@ -1,6 +1,7 @@
 #include "tensor/random.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "tensor/tensor.h"
 
@@ -72,6 +73,21 @@ int64_t Rng::Zipf(int64_t n, double s) {
   if (out < 0) out = 0;
   if (out >= n) out = n - 1;
   return out;
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
 }
 
 int64_t Rng::Categorical(const std::vector<double>& weights) {

@@ -36,6 +36,13 @@ class Rng {
   /// Samples an index proportional to the (non-negative) weights.
   int64_t Categorical(const std::vector<double>& weights);
 
+  /// Serializes the engine state (textual mt19937_64 dump) so a resumed job
+  /// replays exactly the draws an uninterrupted run would have made.
+  std::string SaveState() const;
+  /// Restores a state produced by SaveState(). Returns false (engine
+  /// untouched) when the string does not parse.
+  bool LoadState(const std::string& state);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

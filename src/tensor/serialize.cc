@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace benchtemp::tensor {
 
@@ -11,22 +12,19 @@ namespace {
 
 constexpr char kMagic[4] = {'B', 'T', 'C', 'P'};
 
-bool WriteU64(std::ofstream& out, uint64_t value) {
+bool WriteU64(std::ostream& out, uint64_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
   return static_cast<bool>(out);
 }
 
-bool ReadU64(std::ifstream& in, uint64_t* value) {
+bool ReadU64(std::istream& in, uint64_t* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return static_cast<bool>(in);
 }
 
 }  // namespace
 
-bool SaveParameters(const std::vector<Var>& params,
-                    const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+bool SaveParametersTo(std::ostream& out, const std::vector<Var>& params) {
   out.write(kMagic, sizeof(kMagic));
   if (!WriteU64(out, params.size())) return false;
   for (const Var& p : params) {
@@ -42,10 +40,7 @@ bool SaveParameters(const std::vector<Var>& params,
   return true;
 }
 
-bool LoadParameters(const std::string& path,
-                    const std::vector<Var>& params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+bool LoadParametersFrom(std::istream& in, const std::vector<Var>& params) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
@@ -78,6 +73,32 @@ bool LoadParameters(const std::string& path,
     }
   }
   return true;
+}
+
+bool SaveParameters(const std::vector<Var>& params,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return SaveParametersTo(out, params);
+}
+
+bool LoadParameters(const std::string& path,
+                    const std::vector<Var>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return LoadParametersFrom(in, params);
+}
+
+std::string SnapshotParameters(const std::vector<Var>& params) {
+  std::ostringstream out(std::ios::binary);
+  SaveParametersTo(out, params);
+  return out.str();
+}
+
+bool RestoreParameters(const std::string& blob,
+                       const std::vector<Var>& params) {
+  std::istringstream in(blob, std::ios::binary);
+  return LoadParametersFrom(in, params);
 }
 
 }  // namespace benchtemp::tensor

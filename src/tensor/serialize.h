@@ -1,6 +1,7 @@
 #ifndef BENCHTEMP_TENSOR_SERIALIZE_H_
 #define BENCHTEMP_TENSOR_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,18 @@ bool SaveParameters(const std::vector<Var>& params, const std::string& path);
 /// mismatch, or any shape mismatch (in which case no parameter is
 /// modified).
 bool LoadParameters(const std::string& path, const std::vector<Var>& params);
+
+/// Stream variants of the same format, used by the robustness layer to
+/// embed parameter sections inside larger job checkpoints and to take
+/// in-memory snapshots (rollback targets, best-epoch weights).
+bool SaveParametersTo(std::ostream& out, const std::vector<Var>& params);
+bool LoadParametersFrom(std::istream& in, const std::vector<Var>& params);
+
+/// Convenience wrappers over the stream variants: a parameter set as an
+/// opaque in-memory blob. Restore returns false (parameters untouched) on
+/// shape/count mismatch or a corrupt blob.
+std::string SnapshotParameters(const std::vector<Var>& params);
+bool RestoreParameters(const std::string& blob, const std::vector<Var>& params);
 
 }  // namespace benchtemp::tensor
 

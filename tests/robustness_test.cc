@@ -1,0 +1,589 @@
+// Tests of the fault-tolerant sweep runner (DESIGN.md "Failure model"):
+// atomic checkpointing, NaN retry with LR backoff, watchdog deadlines,
+// crash isolation, manifest resume, and input validation. Fault injection
+// drives every recovery path deterministically.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/data_loader.h"
+#include "core/trainer.h"
+#include "datagen/csv.h"
+#include "datagen/synthetic.h"
+#include "robustness/checkpoint.h"
+#include "robustness/fault_injector.h"
+#include "robustness/sweep.h"
+#include "robustness/watchdog.h"
+#include "tensor/modules.h"
+#include "tensor/optimizer.h"
+#include "tensor/random.h"
+#include "tensor/serialize.h"
+
+namespace benchtemp::robustness {
+namespace {
+
+using core::LinkPredictionJob;
+using core::LinkPredictionResult;
+using core::RunLinkPrediction;
+using graph::TemporalGraph;
+using models::ModelKind;
+using tensor::Var;
+
+/// Every test leaves the process-wide injector disarmed.
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TemporalGraph MakeLearnableGraph(uint64_t seed = 21) {
+  datagen::SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 25;
+  cfg.num_edges = 900;
+  cfg.edge_reuse_prob = 0.7;
+  cfg.affinity = 0.7;
+  cfg.edge_feature_dim = 4;
+  cfg.seed = seed;
+  TemporalGraph g = datagen::Generate(cfg);
+  g.InitNodeFeatures(8);
+  return g;
+}
+
+LinkPredictionJob SmallTgnJob(const TemporalGraph* g) {
+  LinkPredictionJob job;
+  job.graph = g;
+  job.num_users = 60;
+  job.kind = ModelKind::kTgn;
+  job.model_config.embedding_dim = 8;
+  job.model_config.time_dim = 8;
+  job.model_config.num_neighbors = 4;
+  job.model_config.num_layers = 1;
+  job.model_config.num_heads = 2;
+  job.train_config.max_epochs = 4;
+  job.train_config.batch_size = 100;
+  job.train_config.learning_rate = 1e-3f;
+  job.train_config.seed = 5;
+  return job;
+}
+
+std::string TempPath(const std::string& name) {
+  return "/tmp/benchtemp_robustness_" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Atomic checkpoint writes
+
+TEST_F(RobustnessTest, AtomicWriteSurvivesCrashInRenameWindow) {
+  const std::string path = TempPath("atomic.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "generation-1"));
+
+  // Crash between temp-file write and rename: the committed file must keep
+  // its old contents.
+  FaultSpec spec;
+  spec.at_step = 0;
+  FaultInjector::Global().Arm(FaultSite::kCheckpointRename, spec);
+  EXPECT_FALSE(AtomicWriteFile(path, "generation-2-torn"));
+  std::string contents;
+  ASSERT_TRUE(ReadFile(path, &contents));
+  EXPECT_EQ(contents, "generation-1");
+
+  // Once the fault passes, the next commit replaces the file whole.
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(AtomicWriteFile(path, "generation-3"));
+  ASSERT_TRUE(ReadFile(path, &contents));
+  EXPECT_EQ(contents, "generation-3");
+  unlink(path.c_str());
+  unlink((path + ".tmp").c_str());
+}
+
+TEST_F(RobustnessTest, JobCheckpointRoundTrips) {
+  JobCheckpoint ckpt;
+  ckpt.next_epoch = 3;
+  ckpt.epochs_run = 3;
+  ckpt.nan_retries = 1;
+  ckpt.learning_rate = 5e-4f;
+  ckpt.total_epoch_seconds = 12.5;
+  ckpt.seed = 42;
+  ckpt.monitor = {0.91, 2, 3, 1};
+  ckpt.val_auc = 0.91;
+  ckpt.val_ap = 0.88;
+  ckpt.val_count = 135;
+  ckpt.model_rng = "model rng state";
+  ckpt.sampler_rng = "sampler rng state";
+  ckpt.params = std::string("param\0blob", 10);
+  ckpt.adam = "adam blob";
+  ckpt.best_params = "";
+
+  const std::string path = TempPath("job.ckpt");
+  ASSERT_TRUE(SaveJobCheckpoint(path, ckpt));
+  JobCheckpoint loaded;
+  ASSERT_TRUE(LoadJobCheckpoint(path, &loaded));
+  EXPECT_EQ(loaded.next_epoch, 3);
+  EXPECT_EQ(loaded.nan_retries, 1);
+  EXPECT_FLOAT_EQ(loaded.learning_rate, 5e-4f);
+  EXPECT_DOUBLE_EQ(loaded.total_epoch_seconds, 12.5);
+  EXPECT_EQ(loaded.seed, 42u);
+  EXPECT_DOUBLE_EQ(loaded.monitor.best_metric, 0.91);
+  EXPECT_EQ(loaded.monitor.best_epoch, 2);
+  EXPECT_EQ(loaded.val_count, 135);
+  EXPECT_EQ(loaded.params, ckpt.params);
+  EXPECT_EQ(loaded.best_params, "");
+  unlink(path.c_str());
+}
+
+TEST_F(RobustnessTest, CorruptAndTruncatedCheckpointsRejected) {
+  JobCheckpoint ckpt;
+  ckpt.params = "payload";
+  const std::string path = TempPath("corrupt.ckpt");
+  ASSERT_TRUE(SaveJobCheckpoint(path, ckpt));
+
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes));
+  JobCheckpoint out;
+
+  // Flip one payload byte: checksum mismatch.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] = static_cast<char>(flipped[bytes.size() / 2] ^ 1);
+  { std::ofstream f(path, std::ios::binary); f << flipped; }
+  EXPECT_FALSE(LoadJobCheckpoint(path, &out));
+
+  // Truncate: checksum (and sections) incomplete.
+  { std::ofstream f(path, std::ios::binary); f << bytes.substr(0, 10); }
+  EXPECT_FALSE(LoadJobCheckpoint(path, &out));
+
+  EXPECT_FALSE(LoadJobCheckpoint(TempPath("missing.ckpt"), &out));
+  unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer / RNG state round trips
+
+TEST_F(RobustnessTest, AdamSnapshotReproducesUpdateTrajectory) {
+  tensor::Rng rng(7);
+  tensor::Linear layer(6, 4, rng);
+  tensor::Adam opt(layer.Parameters(), 1e-2f);
+
+  auto step = [&](float scale) {
+    opt.ZeroGrad();
+    for (const Var& p : layer.Parameters()) {
+      p->grad = tensor::Tensor(p->value.shape());
+      for (int64_t i = 0; i < p->grad.size(); ++i) {
+        p->grad.at(i) = scale * static_cast<float>(i % 5 - 2);
+      }
+    }
+    opt.Step();
+  };
+  step(1.0f);
+  step(0.5f);
+
+  // Branch point: snapshot, advance, restore, re-advance — both branches
+  // must produce identical parameters (moments and step clock included).
+  const std::string params_at_branch =
+      tensor::SnapshotParameters(layer.Parameters());
+  const std::string adam_at_branch = opt.SnapshotState();
+  EXPECT_EQ(opt.step_count(), 2);
+
+  step(2.0f);
+  std::vector<float> branch_a;
+  for (const Var& p : layer.Parameters()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      branch_a.push_back(p->value.at(i));
+    }
+  }
+
+  ASSERT_TRUE(tensor::RestoreParameters(params_at_branch, layer.Parameters()));
+  ASSERT_TRUE(opt.RestoreState(adam_at_branch));
+  EXPECT_EQ(opt.step_count(), 2);
+  step(2.0f);
+  size_t cursor = 0;
+  for (const Var& p : layer.Parameters()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      EXPECT_FLOAT_EQ(p->value.at(i), branch_a[cursor++]);
+    }
+  }
+}
+
+TEST_F(RobustnessTest, RngStateRoundTripsExactly) {
+  tensor::Rng rng(123);
+  (void)rng.UniformInt(1000);
+  const std::string state = rng.SaveState();
+  const int64_t a = rng.UniformInt(1 << 30);
+  const int64_t b = rng.UniformInt(1 << 30);
+  ASSERT_TRUE(rng.LoadState(state));
+  EXPECT_EQ(rng.UniformInt(1 << 30), a);
+  EXPECT_EQ(rng.UniformInt(1 << 30), b);
+  EXPECT_FALSE(rng.LoadState("not an engine state ###"));
+}
+
+// ---------------------------------------------------------------------------
+// NaN sentinels
+
+TEST_F(RobustnessTest, InjectedNanRecoversWithRetry) {
+  TemporalGraph g = MakeLearnableGraph();
+  LinkPredictionJob job = SmallTgnJob(&g);
+
+  // Poison one loss mid-epoch: the trainer must roll back, back off the
+  // LR, retry, and still finish the job cleanly.
+  FaultSpec spec;
+  spec.at_step = 3;
+  FaultInjector::Global().Arm(FaultSite::kNanLoss, spec);
+  const LinkPredictionResult result = RunLinkPrediction(job);
+  EXPECT_EQ(result.status, models::ModelStatus::kOk);
+  EXPECT_EQ(result.annotation, "");
+  EXPECT_EQ(result.nan_retries, 1);
+  EXPECT_GT(result.test[0].auc, 0.55);
+  EXPECT_EQ(FaultInjector::Global().fire_count(FaultSite::kNanLoss), 1);
+}
+
+TEST_F(RobustnessTest, ExhaustedRetryBudgetAnnotatesX) {
+  TemporalGraph g = MakeLearnableGraph();
+  LinkPredictionJob job = SmallTgnJob(&g);
+  job.train_config.max_nan_retries = 2;
+
+  // Every step diverges: after the retry budget is spent the job reports
+  // the paper's non-convergence marker instead of aborting.
+  FaultSpec spec;
+  spec.at_step = 0;
+  spec.count = 1 << 20;
+  FaultInjector::Global().Arm(FaultSite::kNanLoss, spec);
+  const LinkPredictionResult result = RunLinkPrediction(job);
+  EXPECT_EQ(result.status, models::ModelStatus::kOk);
+  EXPECT_EQ(result.annotation, "x");
+  EXPECT_EQ(result.nan_retries, 3);       // budget 2 + the failing attempt
+  EXPECT_EQ(result.test[0].count, 0);     // test pass skipped
+}
+
+TEST_F(RobustnessTest, FaultSpecParsingAndNames) {
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.Configure("nan_loss@40;stall_batch@5:3:200"));
+  EXPECT_FALSE(injector.Configure("unknown_site@1"));
+  EXPECT_FALSE(injector.Configure("nan_loss"));
+  EXPECT_EQ(injector.stall_ms(), 200);
+  EXPECT_STREQ(FaultSiteName(FaultSite::kNanLoss), "nan_loss");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kCheckpointRename),
+               "crash_checkpoint");
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+
+TEST_F(RobustnessTest, WatchdogExpiresAndDisarms) {
+  Watchdog dog;
+  std::atomic<int> expirations{0};
+  dog.Arm(0.02, [&] { expirations.fetch_add(1); });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (!dog.expired() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(dog.expired());
+  EXPECT_TRUE(dog.cancel_token()->load());
+  EXPECT_EQ(expirations.load(), 1);
+
+  // A generous re-arm clears the flag; disarming prevents expiry.
+  dog.Arm(60.0);
+  EXPECT_FALSE(dog.expired());
+  dog.Disarm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(dog.expired());
+}
+
+TEST_F(RobustnessTest, CancelTokenWindsTrainingDownWithX) {
+  TemporalGraph g = MakeLearnableGraph();
+  LinkPredictionJob job = SmallTgnJob(&g);
+  std::atomic<bool> cancel{true};  // deadline already passed
+  job.train_config.cancel_token = &cancel;
+  const LinkPredictionResult result = RunLinkPrediction(job);
+  EXPECT_EQ(result.annotation, "x");
+  EXPECT_EQ(result.test[0].count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume of one training job
+
+TEST_F(RobustnessTest, ResumedJobMatchesUninterruptedRunExactly) {
+  TemporalGraph g = MakeLearnableGraph();
+  const std::string path = TempPath("resume.ckpt");
+  unlink(path.c_str());
+
+  // Reference: the uninterrupted run.
+  LinkPredictionJob job = SmallTgnJob(&g);
+  const LinkPredictionResult reference = RunLinkPrediction(job);
+  ASSERT_EQ(reference.status, models::ModelStatus::kOk);
+
+  // Crash the job mid-epoch after at least one checkpoint was committed
+  // (batch_size 100 -> ~6 train batches per epoch; step 14 is in epoch 3).
+  job.train_config.checkpoint_path = path;
+  FaultSpec spec;
+  spec.at_step = 14;
+  FaultInjector::Global().Arm(FaultSite::kThrowForward, spec);
+  EXPECT_THROW(RunLinkPrediction(job), std::runtime_error);
+  FaultInjector::Global().DisarmAll();
+  std::string unused;
+  ASSERT_TRUE(ReadFile(path, &unused)) << "no checkpoint survived the crash";
+
+  // Resume: same job, checkpoint present — the result must be bit-identical
+  // to the run that never crashed.
+  const LinkPredictionResult resumed = RunLinkPrediction(job);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.status, models::ModelStatus::kOk);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(resumed.test[s].auc, reference.test[s].auc);
+    EXPECT_DOUBLE_EQ(resumed.test[s].ap, reference.test[s].ap);
+  }
+  EXPECT_DOUBLE_EQ(resumed.val_transductive.auc,
+                   reference.val_transductive.auc);
+
+  // A completed job retires its checkpoint.
+  EXPECT_FALSE(ReadFile(path, &unused));
+}
+
+TEST_F(RobustnessTest, CheckpointWithWrongSeedIgnored) {
+  TemporalGraph g = MakeLearnableGraph();
+  const std::string path = TempPath("wrong_seed.ckpt");
+  unlink(path.c_str());
+
+  LinkPredictionJob job = SmallTgnJob(&g);
+  job.train_config.checkpoint_path = path;
+  FaultSpec spec;
+  spec.at_step = 14;
+  FaultInjector::Global().Arm(FaultSite::kThrowForward, spec);
+  EXPECT_THROW(RunLinkPrediction(job), std::runtime_error);
+  FaultInjector::Global().DisarmAll();
+
+  // A different seed is a different job: the stale checkpoint must not be
+  // applied to it.
+  job.train_config.seed = 6;
+  const LinkPredictionResult result = RunLinkPrediction(job);
+  EXPECT_FALSE(result.resumed);
+  EXPECT_EQ(result.status, models::ModelStatus::kOk);
+  unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep runner: crash isolation, watchdog, manifest resume
+
+std::vector<core::LeaderboardRecord> OneRecord(const std::string& key,
+                                               double mean,
+                                               const std::string& annotation =
+                                                   "") {
+  core::LeaderboardRecord r;
+  r.model = "M";
+  r.dataset = key;
+  r.task = "link_prediction";
+  r.setting = "Transductive";
+  r.metric = "AUC";
+  r.mean = mean;
+  r.annotation = annotation;
+  return {r};
+}
+
+SweepJob StubJob(const std::string& key, double mean) {
+  SweepJob job;
+  job.key = key;
+  job.model = "M";
+  job.dataset = key;
+  job.settings = {"Transductive"};
+  job.metrics = {"AUC"};
+  job.run = [key, mean](const std::atomic<bool>*) {
+    return OneRecord(key, mean);
+  };
+  return job;
+}
+
+TEST_F(RobustnessTest, SweepIsolatesCrashedJobs) {
+  std::vector<SweepJob> jobs;
+  jobs.push_back(StubJob("A", 0.9));
+  SweepJob bomb = StubJob("B", 0.0);
+  bomb.run = [](const std::atomic<bool>*)
+      -> std::vector<core::LeaderboardRecord> {
+    throw std::runtime_error("injected fault: forward pass");
+  };
+  jobs.push_back(bomb);
+  jobs.push_back(StubJob("C", 0.8));
+
+  core::Leaderboard board;
+  SweepOptions options;
+  options.parallel = false;
+  const SweepReport report = RunSweep(jobs, options, &board);
+  EXPECT_EQ(report.ran, 3);
+  EXPECT_EQ(report.failed, 1);
+  ASSERT_EQ(board.records().size(), 3u);
+  EXPECT_EQ(board.records()[0].dataset, "A");
+  EXPECT_EQ(board.records()[1].annotation,
+            "FAILED(injected fault: forward pass)");
+  EXPECT_EQ(board.records()[2].dataset, "C");  // sweep continued past crash
+}
+
+TEST_F(RobustnessTest, SweepWatchdogCancelsStalledJob) {
+  std::vector<SweepJob> jobs;
+  SweepJob stalled = StubJob("S", 0.0);
+  stalled.run = [](const std::atomic<bool>* cancel) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (cancel != nullptr && cancel->load()) {
+        return OneRecord("S", 0.5, "x");  // cooperative wind-down
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return OneRecord("S", 0.5);
+  };
+  jobs.push_back(stalled);
+
+  core::Leaderboard board;
+  SweepOptions options;
+  options.parallel = false;
+  options.job_deadline_seconds = 0.05;
+  RunSweep(jobs, options, &board);
+  ASSERT_EQ(board.records().size(), 1u);
+  EXPECT_EQ(board.records()[0].annotation, "x");
+}
+
+TEST_F(RobustnessTest, ManifestResumeSkipsCompletedAndMatchesFreshCsv) {
+  const std::string path = TempPath("manifest.txt");
+  unlink(path.c_str());
+  std::vector<SweepJob> jobs;
+  jobs.push_back(StubJob("A", 0.875));
+  jobs.push_back(StubJob("B", 0.75));
+  jobs.push_back(StubJob("C", 0.625));
+
+  // Fresh stateless run = ground truth CSV.
+  core::Leaderboard fresh;
+  RunSweep(jobs, SweepOptions(), &fresh);
+
+  // Interrupted run: only A and B commit (simulating a kill before C).
+  SweepOptions options;
+  options.parallel = false;
+  options.manifest_path = path;
+  {
+    core::Leaderboard partial;
+    std::vector<SweepJob> first_two(jobs.begin(), jobs.begin() + 2);
+    RunSweep(first_two, options, &partial);
+  }
+
+  // Resume over the full job list: A and B replay from the manifest, C runs.
+  core::Leaderboard resumed;
+  const SweepReport report = RunSweep(jobs, options, &resumed);
+  EXPECT_EQ(report.skipped, 2);
+  EXPECT_EQ(report.ran, 1);
+  EXPECT_EQ(resumed.ToCsv(), fresh.ToCsv());
+  unlink(path.c_str());
+}
+
+TEST_F(RobustnessTest, TornManifestTailIsDiscarded) {
+  const std::string path = TempPath("torn.txt");
+  {
+    std::ofstream out(path);
+    out << "rec|A|M|A|link_prediction|Transductive|AUC|0.875|0|\n";
+    out << "done|A|1|0|\n";
+    // Torn tail: rec without its done marker, then a half-written line.
+    out << "rec|B|M|B|link_prediction|Transductive|AUC|0.75|0|\n";
+    out << "rec|B|M|B|link_predi";
+  }
+  SweepManifest manifest(path);
+  ASSERT_TRUE(manifest.Load());
+  EXPECT_TRUE(manifest.IsDone("A"));
+  EXPECT_FALSE(manifest.IsDone("B"));  // torn job reruns
+  const SweepJobResult* a = manifest.Find("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->records.size(), 1u);
+  EXPECT_DOUBLE_EQ(a->records[0].mean, 0.875);
+  unlink(path.c_str());
+}
+
+TEST_F(RobustnessTest, ManifestRoundTripsFloatsExactly) {
+  const std::string path = TempPath("floats.txt");
+  unlink(path.c_str());
+  SweepManifest manifest(path);
+  SweepJobResult result;
+  result.key = "K";
+  result.records = OneRecord("K", 0.123456789012345678);
+  result.records[0].std = 1e-17;
+  ASSERT_TRUE(manifest.Commit(result));
+
+  SweepManifest reloaded(path);
+  ASSERT_TRUE(reloaded.Load());
+  const SweepJobResult* found = reloaded.Find("K");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->records[0].mean, 0.123456789012345678);
+  EXPECT_DOUBLE_EQ(found->records[0].std, 1e-17);
+  unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Input validation
+
+TEST_F(RobustnessTest, ValidateGraphCatchesBadInputs) {
+  TemporalGraph good = MakeLearnableGraph();
+  EXPECT_EQ(core::ValidateGraph(good), "");
+
+  TemporalGraph unsorted;
+  unsorted.AddInteraction(0, 1, 5.0, 0);
+  unsorted.AddInteraction(1, 2, 3.0, 0);  // goes back in time
+  EXPECT_NE(core::ValidateGraph(unsorted).find("chronological"),
+            std::string::npos);
+
+  TemporalGraph empty;
+  EXPECT_NE(core::ValidateGraph(empty), "");
+
+  TemporalGraph nan_features = MakeLearnableGraph();
+  nan_features.mutable_node_features().at(0, 0) =
+      std::numeric_limits<float>::quiet_NaN();
+  EXPECT_NE(core::ValidateGraph(nan_features).find("node features"),
+            std::string::npos);
+}
+
+TEST_F(RobustnessTest, CsvLoaderRejectsMalformedRows) {
+  const std::string path = TempPath("bad.csv");
+  auto write_and_load = [&](const std::string& body) {
+    {
+      std::ofstream out(path);
+      out << body;
+    }
+    TemporalGraph g;
+    datagen::CsvError error;
+    const bool ok = datagen::LoadCsv(path, &g, &error);
+    unlink(path.c_str());
+    return std::make_pair(ok, error);
+  };
+
+  auto [ok1, err1] = write_and_load("src,dst,ts,label\n0,1,1.0,0\n");
+  EXPECT_TRUE(ok1);
+
+  auto [ok2, err2] = write_and_load("src,dst,ts,label\n0,-3,1.0,0\n");
+  EXPECT_FALSE(ok2);
+  EXPECT_EQ(err2.line, 2);
+  EXPECT_NE(err2.message.find("negative"), std::string::npos);
+
+  auto [ok3, err3] = write_and_load("src,dst,ts,label\n0,1,nan,0\n");
+  EXPECT_FALSE(ok3);
+  EXPECT_NE(err3.message.find("timestamp"), std::string::npos);
+
+  auto [ok4, err4] =
+      write_and_load("src,dst,ts,label,f0\n0,1,1.0,0,2.5\n0,1,2.0,0,inf\n");
+  EXPECT_FALSE(ok4);
+  EXPECT_EQ(err4.line, 3);
+  EXPECT_NE(err4.message.find("feature"), std::string::npos);
+
+  auto [ok5, err5] = write_and_load("src,dst,ts,label\n0,1x,1.0,0\n");
+  EXPECT_FALSE(ok5);
+  EXPECT_NE(err5.message.find("node id"), std::string::npos);
+
+  auto [ok6, err6] = write_and_load("src,dst\n");
+  EXPECT_FALSE(ok6);
+  EXPECT_NE(err6.message.find("header"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace benchtemp::robustness
