@@ -14,12 +14,16 @@
 #include "graph/walks.h"
 #include "tensor/autograd.h"
 #include "tensor/modules.h"
+#include "tensor/numeric.h"
 
 namespace {
 
 using namespace benchtemp;
 
 graph::TemporalGraph& SharedGraph() {
+  // Immortal shared fixture: built once, reused across benchmarks, never
+  // destroyed (benchmark process exits with it alive).
+  // btlint: allow(mutable-static, raw-new)
   static graph::TemporalGraph& g = *new graph::TemporalGraph([] {
     datagen::SyntheticConfig cfg;
     cfg.num_users = 500;
@@ -47,7 +51,7 @@ void BM_NeighborFinderBeforeQuery(benchmark::State& state) {
   tensor::Rng rng(1);
   for (auto _ : state) {
     int64_t count = 0;
-    finder.Before(static_cast<int32_t>(rng.UniformInt(g.num_nodes())),
+    finder.Before(tensor::NarrowId(rng.UniformInt(g.num_nodes()), "bench: node id"),
                   500.0, &count);
     benchmark::DoNotOptimize(count);
   }
@@ -61,7 +65,7 @@ void BM_UniformNeighborSampling(benchmark::State& state) {
   tensor::Rng rng(1);
   for (auto _ : state) {
     const auto sampled = finder.SampleUniform(
-        static_cast<int32_t>(rng.UniformInt(g.num_nodes())), 900.0,
+        tensor::NarrowId(rng.UniformInt(g.num_nodes()), "bench: node id"), 900.0,
         state.range(0), rng);
     benchmark::DoNotOptimize(sampled.size());
   }
@@ -80,7 +84,7 @@ void BM_TemporalWalk(benchmark::State& state) {
   tensor::Rng rng(1);
   for (auto _ : state) {
     const auto walk = sampler.SampleWalk(
-        finder, static_cast<int32_t>(rng.UniformInt(g.num_nodes())), 900.0,
+        finder, tensor::NarrowId(rng.UniformInt(g.num_nodes()), "bench: node id"), 900.0,
         4, rng);
     benchmark::DoNotOptimize(walk.size());
   }

@@ -110,7 +110,9 @@ int main() {
       std::printf("%8d %14.1f %12.4f %9.2fx %12.6f %12.6f\n", p.threads,
                   p.events_per_second, p.seconds_per_epoch, speedup, p.auc,
                   p.ap);
-      // Determinism contract: metrics must match the 1-thread run exactly.
+      // Determinism contract: metrics must match the 1-thread run EXACTLY —
+      // bit-identical comparison is the whole point of this check.
+      // btlint: allow(float-equality)
       if (p.auc != points.front().auc || p.ap != points.front().ap) {
         deterministic = false;
       }

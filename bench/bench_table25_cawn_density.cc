@@ -23,6 +23,7 @@ core::ReindexResult SampleSubgraph(const graph::TemporalGraph& g,
   std::unordered_map<int32_t, int64_t> item_count;
   for (const auto& e : g.events()) item_count[e.dst]++;
   std::vector<std::pair<int64_t, int32_t>> ranked;
+  // btlint: allow(unordered-drain) — ranked is fully sorted just below.
   for (const auto& entry : item_count) {
     ranked.emplace_back(entry.second, entry.first);
   }

@@ -1,12 +1,17 @@
 #include "core/early_stop.h"
 
+#include "tensor/numeric.h"
+
 namespace benchtemp::core {
 
 EarlyStopMonitor::EarlyStopMonitor(int patience, double tolerance)
     : patience_(patience), tolerance_(tolerance) {}
 
 bool EarlyStopMonitor::Update(double metric) {
-  if (metric > best_metric_ + tolerance_) {
+  // "Improved by more than tolerance": epsilon-aware so a metric sitting
+  // exactly on the threshold (after float arithmetic) doesn't flip the
+  // patience budget on rounding noise.
+  if (tensor::DefinitelyGreater(metric, best_metric_ + tolerance_)) {
     best_metric_ = metric;
     best_epoch_ = epoch_;
     rounds_ = 0;

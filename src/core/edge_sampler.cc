@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tensor/numeric.h"
+
 namespace benchtemp::core {
 
 const char* NegativeSamplingName(NegativeSampling mode) {
@@ -31,8 +33,8 @@ std::vector<int32_t> RandomEdgeSampler::SampleNegatives(
   std::vector<int32_t> out;
   out.reserve(srcs.size());
   for (size_t i = 0; i < srcs.size(); ++i) {
-    out.push_back(dst_lo_ +
-                  static_cast<int32_t>(rng_.UniformInt(dst_hi_ - dst_lo_)));
+    out.push_back(dst_lo_ + tensor::NarrowId(rng_.UniformInt(dst_hi_ - dst_lo_),
+                                             "RandomEdgeSampler: dst id"));
   }
   return out;
 }
@@ -64,7 +66,8 @@ std::vector<int32_t> HistoricalEdgeSampler::SampleNegatives(
     const auto& hist = history_[static_cast<size_t>(src)];
     if (hist.empty()) {
       out.push_back(dst_lo_ +
-                    static_cast<int32_t>(rng_.UniformInt(dst_hi_ - dst_lo_)));
+                    tensor::NarrowId(rng_.UniformInt(dst_hi_ - dst_lo_),
+                                     "EdgeSampler: dst id"));
     } else {
       out.push_back(
           hist[static_cast<size_t>(
@@ -99,6 +102,7 @@ InductiveEdgeSampler::InductiveEdgeSampler(
         static_cast<int64_t>(e.src) * graph.num_nodes() + e.dst;
     if (train_pairs.count(key) == 0) dsts.insert(e.dst);
   }
+  // btlint: allow(unordered-drain) — drained once, then sorted below.
   unseen_dsts_.assign(dsts.begin(), dsts.end());
   std::sort(unseen_dsts_.begin(), unseen_dsts_.end());
 }
@@ -110,7 +114,8 @@ std::vector<int32_t> InductiveEdgeSampler::SampleNegatives(
   for (size_t i = 0; i < srcs.size(); ++i) {
     if (unseen_dsts_.empty()) {
       out.push_back(dst_lo_ +
-                    static_cast<int32_t>(rng_.UniformInt(dst_hi_ - dst_lo_)));
+                    tensor::NarrowId(rng_.UniformInt(dst_hi_ - dst_lo_),
+                                     "EdgeSampler: dst id"));
     } else {
       out.push_back(unseen_dsts_[static_cast<size_t>(
           rng_.UniformInt(static_cast<int64_t>(unseen_dsts_.size())))]);

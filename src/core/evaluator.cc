@@ -98,9 +98,9 @@ WeightedPrf WeightedPrecisionRecallF1(const std::vector<int>& predicted,
     predicted_count[static_cast<size_t>(predicted[i])]++;
     if (predicted[i] == actual[i]) true_pos[static_cast<size_t>(actual[i])]++;
   }
-  const double total = static_cast<double>(actual.size());
   WeightedPrf out;
-  if (total == 0.0) return out;
+  if (actual.empty()) return out;
+  const double total = static_cast<double>(actual.size());
   for (int c = 0; c < num_classes; ++c) {
     const size_t ci = static_cast<size_t>(c);
     const double weight = static_cast<double>(support[ci]) / total;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "tensor/numeric.h"
+
 namespace benchtemp::core {
 
 namespace {
@@ -143,9 +145,12 @@ std::string Leaderboard::FormatTable(const std::vector<std::string>& models,
       }
       const char* marker = "";
       if (r->annotation.empty()) {
-        if (r->mean == best) {
+        // Means have been through averaging arithmetic; exact equality
+        // would drop a deserved bold/underline to rounding noise.
+        if (tensor::ApproxEqual(r->mean, best)) {
           marker = "**";
-        } else if (r->mean == second && best - second <= second_gap) {
+        } else if (tensor::ApproxEqual(r->mean, second) &&
+                   best - second <= second_gap) {
           marker = "_";
         }
       }

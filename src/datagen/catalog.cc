@@ -154,14 +154,12 @@ std::vector<DatasetSpec> BuildNewDatasets() {
 }  // namespace
 
 const std::vector<DatasetSpec>& MainDatasets() {
-  static const std::vector<DatasetSpec>& datasets =
-      *new std::vector<DatasetSpec>(BuildMainDatasets());
+  static const std::vector<DatasetSpec> datasets = BuildMainDatasets();
   return datasets;
 }
 
 const std::vector<DatasetSpec>& NewDatasets() {
-  static const std::vector<DatasetSpec>& datasets =
-      *new std::vector<DatasetSpec>(BuildNewDatasets());
+  static const std::vector<DatasetSpec> datasets = BuildNewDatasets();
   return datasets;
 }
 

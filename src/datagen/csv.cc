@@ -9,6 +9,8 @@
 #include <sstream>
 #include <vector>
 
+#include "tensor/numeric.h"
+
 namespace benchtemp::datagen {
 
 bool SaveCsv(const graph::TemporalGraph& graph, const std::string& path) {
@@ -108,9 +110,9 @@ bool LoadCsv(const std::string& path, graph::TemporalGraph* graph,
     if (!ParseInt(fields[3], &label)) {
       return Fail(error, line_no, "malformed label");
     }
-    graph->AddInteraction(static_cast<int32_t>(src),
-                          static_cast<int32_t>(dst), ts,
-                          static_cast<int32_t>(label));
+    graph->AddInteraction(tensor::NarrowId(src, "csv: src node id"),
+                          tensor::NarrowId(dst, "csv: dst node id"),
+                          ts, static_cast<int32_t>(label));
     for (int64_t c = 0; c < edge_dim; ++c) {
       double feature = 0.0;
       if (!ParseFinite(fields[static_cast<size_t>(4 + c)], &feature)) {

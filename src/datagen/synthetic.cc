@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/numeric.h"
 #include "tensor/random.h"
 
 namespace benchtemp::datagen {
@@ -106,7 +107,8 @@ graph::TemporalGraph Generate(const SyntheticConfig& config) {
       src = pick.first;
       dst = pick.second;
     } else {
-      src = static_cast<int32_t>(rng.Zipf(num_src, config.zipf_src));
+      src = tensor::NarrowId(rng.Zipf(num_src, config.zipf_src),
+                             "synthetic: src node id");
       const int32_t c = community[static_cast<size_t>(src)];
       const auto& pool = dst_by_community[static_cast<size_t>(c)];
       if (!pool.empty() && rng.Bernoulli(config.affinity)) {
@@ -114,7 +116,8 @@ graph::TemporalGraph Generate(const SyntheticConfig& config) {
             rng.UniformInt(static_cast<int64_t>(pool.size())))];
       } else {
         dst = dst_offset +
-              static_cast<int32_t>(rng.Zipf(num_dst, config.zipf_dst));
+              tensor::NarrowId(rng.Zipf(num_dst, config.zipf_dst),
+                               "synthetic: dst node id");
       }
       if (!bipartite && dst == src) dst = (src + 1) % num_dst;
     }

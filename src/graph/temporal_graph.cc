@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "tensor/numeric.h"
+
 namespace benchtemp::graph {
 
 void TemporalGraph::AddInteraction(int32_t src, int32_t dst, double ts,
@@ -12,7 +14,8 @@ void TemporalGraph::AddInteraction(int32_t src, int32_t dst, double ts,
   event.src = src;
   event.dst = dst;
   event.ts = ts;
-  event.edge_idx = static_cast<int32_t>(events_.size());
+  event.edge_idx = tensor::NarrowId(static_cast<int64_t>(events_.size()),
+                                    "TemporalGraph: edge index");
   event.label = label;
   events_.push_back(event);
   num_nodes_ = std::max(num_nodes_, std::max(src, dst) + 1);

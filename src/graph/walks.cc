@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "runtime/thread_pool.h"
+#include "tensor/numeric.h"
 
 namespace benchtemp::graph {
 
@@ -38,7 +39,7 @@ double TemporalWalkSampler::StepWeight(double t_prev, double t_now) const {
       // Paper Eq. (2): overflow-safe piecewise-linear weight.
       const double dt = t_prev - t_now;
       if (dt > 0.0) return dt;
-      if (dt == 0.0) return 1.0;
+      if (tensor::IsExactlyZero(dt)) return 1.0;
       return -1.0 / dt;
     }
   }

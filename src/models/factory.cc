@@ -40,7 +40,7 @@ const char* ModelKindName(ModelKind kind) {
 }
 
 const std::vector<ModelKind>& PaperModels() {
-  static const std::vector<ModelKind>& models = *new std::vector<ModelKind>{
+  static const std::vector<ModelKind> models{
       ModelKind::kJodie, ModelKind::kDyRep, ModelKind::kTgn,
       ModelKind::kTgat,  ModelKind::kCawn,  ModelKind::kNeurTw,
       ModelKind::kNat,

@@ -51,9 +51,17 @@ void MemoryModel::ProcessPending() {
     latest[src_event.node] = src_event;
     latest[dst_event.node] = dst_event;
   }
+  // Drain the unordered dedup map in node order: unordered_map iteration
+  // order is implementation-defined, and the event order decides batch row
+  // layout (and therefore float accumulation order downstream).
   std::vector<MemoryEvent> events;
   events.reserve(latest.size());
+  // btlint: allow(unordered-drain) — sorted immediately below.
   for (const auto& entry : latest) events.push_back(entry.second);
+  std::sort(events.begin(), events.end(),
+            [](const MemoryEvent& a, const MemoryEvent& b) {
+              return a.node < b.node;
+            });
   pending_ = Batch();
 
   Var prev = GatherMemory([&events] {

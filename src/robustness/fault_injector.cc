@@ -43,6 +43,8 @@ const char* FaultSiteName(FaultSite site) {
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* injector = [] {
+    // Immortal singleton, same rationale as ThreadPool::Global().
+    // btlint: allow(raw-new)
     auto* inj = new FaultInjector();
     const char* env = std::getenv("BENCHTEMP_FAULTS");
     if (env != nullptr && env[0] != '\0') inj->Configure(env);

@@ -22,7 +22,11 @@ void Watchdog::Arm(double seconds, std::function<void()> on_expire) {
               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                   std::chrono::duration<double>(seconds));
   armed_ = true;
-  if (!thread_.joinable()) thread_ = std::thread([this] { Run(); });
+  if (!thread_.joinable()) {
+    // Dedicated timer thread, not compute parallelism.
+    // btlint: allow(adhoc-parallelism)
+    thread_ = std::thread([this] { Run(); });
+  }
   cv_.notify_all();
 }
 

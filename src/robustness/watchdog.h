@@ -48,7 +48,7 @@ class Watchdog {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::thread thread_;
+  std::thread thread_;  // btlint: allow(adhoc-parallelism)
   std::function<void()> on_expire_;
   std::chrono::steady_clock::time_point deadline_;
   bool armed_ = false;

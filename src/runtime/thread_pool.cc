@@ -26,6 +26,9 @@ int DefaultNumThreads() {
 }
 
 ThreadPool& ThreadPool::Global() {
+  // Intentionally leaked immortal singleton: worker threads may still be
+  // parked in the pool when static destructors run, so never destroy it.
+  // btlint: allow(mutable-static, raw-new)
   static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
   return *pool;
 }

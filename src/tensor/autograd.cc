@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "runtime/thread_pool.h"
+#include "tensor/debug_check.h"
+#include "tensor/numeric.h"
 
 namespace benchtemp::tensor {
 
@@ -35,15 +37,17 @@ bool IsColBroadcast(const Tensor& a, const Tensor& b) {
   return b.size() == a.rows() && a.cols() > 1;
 }
 
-Var MakeNode(Tensor value, std::vector<Var> parents,
+Var MakeNode(const char* op, Tensor value, std::vector<Var> parents,
              std::function<void(VarNode&)> backward_fn) {
   auto node = std::make_shared<VarNode>();
+  node->op = op;
   node->value = std::move(value);
   node->parents = std::move(parents);
   bool any_grad = false;
   for (const Var& p : node->parents) any_grad = any_grad || p->requires_grad;
   node->requires_grad = any_grad;
   if (any_grad) node->backward_fn = std::move(backward_fn);
+  if (debug_check::Enabled()) debug_check::OnRecord(*node);
   return node;
 }
 
@@ -101,11 +105,14 @@ void Backward(const Var& root) {
   root->EnsureGrad().at(0) = 1.0f;
   std::vector<VarNode*> order;
   TopoSort(root, order);
+  const bool check = debug_check::Enabled();
   // Post-order yields parents before children; reverse for backprop.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     VarNode* node = *it;
     if (node->backward_fn && node->grad.size() == node->value.size()) {
+      if (check) debug_check::OnBackwardNode(*node);
       node->backward_fn(*node);
+      if (check) debug_check::ReleaseNode(*node);
     }
   }
 }
@@ -131,7 +138,7 @@ Var Add(const Var& a, const Var& b) {
                          [&](int64_t lo, int64_t hi) {
                            for (int64_t i = lo; i < hi; ++i) op[i] += bp[i];
                          });
-    return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
+    return MakeNode("Add", std::move(out), {a, b}, [](VarNode& self) {
       for (int i = 0; i < 2; ++i) {
         VarNode& p = *self.parents[i];
         if (!p.requires_grad) continue;
@@ -151,7 +158,7 @@ Var Add(const Var& a, const Var& b) {
   for (int64_t r = 0; r < n; ++r) {
     for (int64_t c = 0; c < d; ++c) out.at(r * d + c) += bv.at(c);
   }
-  return MakeNode(std::move(out), {a, b}, [n, d](VarNode& self) {
+  return MakeNode("Add", std::move(out), {a, b}, [n, d](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
     if (pa.requires_grad) pa.EnsureGrad().AddInPlace(self.grad);
@@ -169,7 +176,7 @@ Var Sub(const Var& a, const Var& b) {
   Tensor out = a->value;
   const float* bp = b->value.data();
   for (int64_t i = 0; i < out.size(); ++i) out.at(i) -= bp[i];
-  return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
+  return MakeNode("Sub", std::move(out), {a, b}, [](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
     if (pa.requires_grad) pa.EnsureGrad().AddInPlace(self.grad);
@@ -191,7 +198,7 @@ Var Mul(const Var& a, const Var& b) {
                          [&](int64_t lo, int64_t hi) {
                            for (int64_t i = lo; i < hi; ++i) op[i] *= bp[i];
                          });
-    return MakeNode(std::move(out), {a, b}, [](VarNode& self) {
+    return MakeNode("Mul", std::move(out), {a, b}, [](VarNode& self) {
       VarNode& pa = *self.parents[0];
       VarNode& pb = *self.parents[1];
       const float* sg = self.grad.data();
@@ -220,7 +227,7 @@ Var Mul(const Var& a, const Var& b) {
     Tensor out = av;
     for (int64_t r = 0; r < n; ++r)
       for (int64_t c = 0; c < d; ++c) out.at(r * d + c) *= bv.at(c);
-    return MakeNode(std::move(out), {a, b}, [n, d](VarNode& self) {
+    return MakeNode("Mul", std::move(out), {a, b}, [n, d](VarNode& self) {
       VarNode& pa = *self.parents[0];
       VarNode& pb = *self.parents[1];
       if (pa.requires_grad) {
@@ -241,7 +248,7 @@ Var Mul(const Var& a, const Var& b) {
   Tensor out = av;
   for (int64_t r = 0; r < n; ++r)
     for (int64_t c = 0; c < d; ++c) out.at(r * d + c) *= bv.at(r);
-  return MakeNode(std::move(out), {a, b}, [n, d](VarNode& self) {
+  return MakeNode("Mul", std::move(out), {a, b}, [n, d](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
     if (pa.requires_grad) {
@@ -262,7 +269,7 @@ Var Mul(const Var& a, const Var& b) {
 Var ScalarMul(const Var& a, float s) {
   Tensor out = a->value;
   out.Scale(s);
-  return MakeNode(std::move(out), {a}, [s](VarNode& self) {
+  return MakeNode("ScalarMul", std::move(out), {a}, [s](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -273,7 +280,7 @@ Var ScalarMul(const Var& a, float s) {
 Var ScalarAdd(const Var& a, float s) {
   Tensor out = a->value;
   for (int64_t i = 0; i < out.size(); ++i) out.at(i) += s;
-  return MakeNode(std::move(out), {a}, [](VarNode& self) {
+  return MakeNode("ScalarAdd", std::move(out), {a}, [](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (p.requires_grad) p.EnsureGrad().AddInPlace(self.grad);
   });
@@ -299,14 +306,14 @@ Var MatMul(const Var& a, const Var& b) {
     for (int64_t i = i0; i < i1; ++i) {
       for (int64_t p = 0; p < k; ++p) {
         const float aval = ap[i * k + p];
-        if (aval == 0.0f) continue;
+        if (IsExactlyZero(aval)) continue;
         const float* brow = bp + p * m;
         float* orow = op + i * m;
         for (int64_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
       }
     }
   });
-  return MakeNode(std::move(out), {a, b}, [n, k, m](VarNode& self) {
+  return MakeNode("MatMul", std::move(out), {a, b}, [n, k, m](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
     const float* gp = self.grad.data();
@@ -319,7 +326,7 @@ Var MatMul(const Var& a, const Var& b) {
         for (int64_t i = i0; i < i1; ++i) {
           for (int64_t j = 0; j < m; ++j) {
             const float gval = gp[i * m + j];
-            if (gval == 0.0f) continue;
+            if (IsExactlyZero(gval)) continue;
             for (int64_t p = 0; p < k; ++p)
               gap[i * k + p] += gval * bp[p * m + j];
           }
@@ -339,7 +346,7 @@ Var MatMul(const Var& a, const Var& b) {
           const float* grow = gp + i * m;
           for (int64_t p = p0; p < p1; ++p) {
             const float aval = arow[p];
-            if (aval == 0.0f) continue;
+            if (IsExactlyZero(aval)) continue;
             float* gbrow = gbp + p * m;
             for (int64_t j = 0; j < m; ++j) gbrow[j] += aval * grow[j];
           }
@@ -356,7 +363,7 @@ Var Transpose(const Var& a) {
   Tensor out({m, n});
   for (int64_t i = 0; i < n; ++i)
     for (int64_t j = 0; j < m; ++j) out.at(j, i) = av.at(i, j);
-  return MakeNode(std::move(out), {a}, [n, m](VarNode& self) {
+  return MakeNode("Transpose", std::move(out), {a}, [n, m](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -385,7 +392,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
     offset += w;
   }
   std::vector<Var> parents(parts.begin(), parts.end());
-  return MakeNode(std::move(out), std::move(parents),
+  return MakeNode("ConcatCols", std::move(out), std::move(parents),
                   [n, total, widths](VarNode& self) {
                     int64_t offset = 0;
                     for (size_t i = 0; i < self.parents.size(); ++i) {
@@ -422,7 +429,7 @@ Var ConcatRows(const std::vector<Var>& parts) {
     offset += h;
   }
   std::vector<Var> parents(parts.begin(), parts.end());
-  return MakeNode(std::move(out), std::move(parents),
+  return MakeNode("ConcatRows", std::move(out), std::move(parents),
                   [d, heights](VarNode& self) {
                     int64_t offset = 0;
                     for (size_t i = 0; i < self.parents.size(); ++i) {
@@ -446,7 +453,7 @@ Var SliceCols(const Var& a, int64_t start, int64_t len) {
   Tensor out({n, len});
   for (int64_t r = 0; r < n; ++r)
     for (int64_t c = 0; c < len; ++c) out.at(r, c) = av.at(r, start + c);
-  return MakeNode(std::move(out), {a}, [n, d, start, len](VarNode& self) {
+  return MakeNode("SliceCols", std::move(out), {a}, [n, d, start, len](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -464,7 +471,7 @@ Var SliceRows(const Var& a, int64_t start, int64_t len) {
              "SliceRows: out of range");
   Tensor out({len, d});
   for (int64_t i = 0; i < len * d; ++i) out.at(i) = av.at(start * d + i);
-  return MakeNode(std::move(out), {a}, [d, start, len](VarNode& self) {
+  return MakeNode("SliceRows", std::move(out), {a}, [d, start, len](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -480,7 +487,7 @@ Var Reshape(const Var& a, std::vector<int64_t> shape) {
   Tensor out = a->value;
   std::vector<float> payload(out.data(), out.data() + out.size());
   Tensor reshaped = Tensor::FromVector(std::move(shape), std::move(payload));
-  return MakeNode(std::move(reshaped), {a}, [](VarNode& self) {
+  return MakeNode("Reshape", std::move(reshaped), {a}, [](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -499,7 +506,7 @@ Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
     CheckOrDie(idx >= 0 && idx < tv.shape()[0], "GatherRows: index range");
     for (int64_t c = 0; c < d; ++c) out.at(r, c) = tv.at(idx, c);
   }
-  return MakeNode(std::move(out), {table}, [indices, d, n](VarNode& self) {
+  return MakeNode("GatherRows", std::move(out), {table}, [indices, d, n](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -520,14 +527,14 @@ namespace {
 /// Shared scaffold for elementwise unary ops: `fwd` computes the output
 /// entry, `bwd(out, in)` the local derivative.
 template <typename Fwd, typename Bwd>
-Var Unary(const Var& a, Fwd fwd, Bwd bwd) {
+Var Unary(const char* op_name, const Var& a, Fwd fwd, Bwd bwd) {
   Tensor out = a->value;
   float* op = out.data();
   runtime::ParallelFor(0, out.size(), kElementwiseGrain,
                        [&](int64_t lo, int64_t hi) {
                          for (int64_t i = lo; i < hi; ++i) op[i] = fwd(op[i]);
                        });
-  return MakeNode(std::move(out), {a}, [bwd](VarNode& self) {
+  return MakeNode(op_name, std::move(out), {a}, [bwd](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     float* g = p.EnsureGrad().data();
@@ -546,7 +553,7 @@ Var Unary(const Var& a, Fwd fwd, Bwd bwd) {
 
 Var Sigmoid(const Var& a) {
   return Unary(
-      a,
+      "Sigmoid", a,
       [](float x) {
         return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
                          : std::exp(x) / (1.0f + std::exp(x));
@@ -555,27 +562,27 @@ Var Sigmoid(const Var& a) {
 }
 
 Var Tanh(const Var& a) {
-  return Unary(a, [](float x) { return std::tanh(x); },
+  return Unary("Tanh", a, [](float x) { return std::tanh(x); },
                [](float out, float) { return 1.0f - out * out; });
 }
 
 Var Relu(const Var& a) {
-  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+  return Unary("Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
                [](float, float in) { return in > 0.0f ? 1.0f : 0.0f; });
 }
 
 Var Exp(const Var& a) {
-  return Unary(a, [](float x) { return std::exp(x); },
+  return Unary("Exp", a, [](float x) { return std::exp(x); },
                [](float out, float) { return out; });
 }
 
 Var Cos(const Var& a) {
-  return Unary(a, [](float x) { return std::cos(x); },
+  return Unary("Cos", a, [](float x) { return std::cos(x); },
                [](float, float in) { return -std::sin(in); });
 }
 
 Var Sin(const Var& a) {
-  return Unary(a, [](float x) { return std::sin(x); },
+  return Unary("Sin", a, [](float x) { return std::sin(x); },
                [](float, float in) { return std::cos(in); });
 }
 
@@ -588,7 +595,7 @@ Var Sum(const Var& a) {
   for (int64_t i = 0; i < a->value.size(); ++i) total += a->value.at(i);
   Tensor out({1});
   out.at(0) = total;
-  return MakeNode(std::move(out), {a}, [](VarNode& self) {
+  return MakeNode("Sum", std::move(out), {a}, [](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -613,7 +620,7 @@ Var MeanRows(const Var& a) {
     for (int64_t c = 0; c < d; ++c) out.at(c) += av.at(r, c);
   const float inv = 1.0f / static_cast<float>(n);
   out.Scale(inv);
-  return MakeNode(std::move(out), {a}, [n, d, inv](VarNode& self) {
+  return MakeNode("MeanRows", std::move(out), {a}, [n, d, inv](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -629,7 +636,7 @@ void SoftmaxRow(const float* in, const float* mask, int64_t d, float* out) {
   float max_val = -1e30f;
   bool any = false;
   for (int64_t c = 0; c < d; ++c) {
-    if (mask != nullptr && mask[c] == 0.0f) continue;
+    if (mask != nullptr && IsExactlyZero(mask[c])) continue;
     any = true;
     max_val = std::max(max_val, in[c]);
   }
@@ -639,7 +646,7 @@ void SoftmaxRow(const float* in, const float* mask, int64_t d, float* out) {
   }
   float total = 0.0f;
   for (int64_t c = 0; c < d; ++c) {
-    if (mask != nullptr && mask[c] == 0.0f) {
+    if (mask != nullptr && IsExactlyZero(mask[c])) {
       out[c] = 0.0f;
       continue;
     }
@@ -664,7 +671,7 @@ Var SoftmaxImpl(const Var& a, const Tensor* mask) {
                  out.data() + r * d);
     }
   });
-  return MakeNode(std::move(out), {a}, [n, d](VarNode& self) {
+  return MakeNode("SoftmaxRows", std::move(out), {a}, [n, d](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -708,7 +715,7 @@ Var BceWithLogits(const Var& logits, const Tensor& targets) {
   Tensor out({1});
   out.at(0) = total / static_cast<float>(n);
   Tensor saved_targets = targets;
-  return MakeNode(std::move(out), {logits},
+  return MakeNode("BceWithLogits", std::move(out), {logits},
                   [n, saved_targets](VarNode& self) {
                     VarNode& p = *self.parents[0];
                     if (!p.requires_grad) return;
@@ -742,7 +749,7 @@ Var SoftmaxCrossEntropy(const Var& logits,
   }
   Tensor out({1});
   out.at(0) = total / static_cast<float>(n);
-  return MakeNode(
+  return MakeNode("SoftmaxCrossEntropy", 
       std::move(out), {logits},
       [n, c_dim, labels, probs](VarNode& self) {
         VarNode& p = *self.parents[0];
@@ -752,8 +759,10 @@ Var SoftmaxCrossEntropy(const Var& logits,
         for (int64_t r = 0; r < n; ++r) {
           const int64_t y = labels[static_cast<size_t>(r)];
           for (int64_t c = 0; c < c_dim; ++c) {
-            g.at(r * c_dim + c) +=
-                seed * (probs.at(r, c) - (c == y ? 1.0f : 0.0f));
+            // An integer compare (class index vs label), not a float one.
+            // btlint: allow(float-equality)
+            const float delta = c == y ? 1.0f : 0.0f;
+            g.at(r * c_dim + c) += seed * (probs.at(r, c) - delta);
           }
         }
       });
@@ -770,7 +779,7 @@ Var MseLoss(const Var& pred, const Tensor& target) {
   Tensor out({1});
   out.at(0) = total / static_cast<float>(n);
   Tensor saved = target;
-  return MakeNode(std::move(out), {pred}, [n, saved](VarNode& self) {
+  return MakeNode("MseLoss", std::move(out), {pred}, [n, saved](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
@@ -804,7 +813,7 @@ Var BatchDot(const Var& q, const Var& k_block, int64_t num_keys) {
           }
         }
       });
-  return MakeNode(
+  return MakeNode("BatchDot", 
       std::move(out), {q, k_block}, [b, d, num_keys](VarNode& self) {
         VarNode& pq = *self.parents[0];
         VarNode& pk = *self.parents[1];
@@ -817,7 +826,7 @@ Var BatchDot(const Var& q, const Var& k_block, int64_t num_keys) {
               for (int64_t i = b0; i < b1; ++i) {
                 for (int64_t k = 0; k < num_keys; ++k) {
                   const float gval = self.grad.at(i * num_keys + k);
-                  if (gval == 0.0f) continue;
+                  if (IsExactlyZero(gval)) continue;
                   const int64_t krow = (i * num_keys + k) * d;
                   if (pq.requires_grad) {
                     Tensor& gq = pq.grad;
@@ -851,13 +860,13 @@ Var BatchWeightedSum(const Var& w, const Var& v_block, int64_t num_keys) {
           float* orow = out.data() + i * d;
           for (int64_t k = 0; k < num_keys; ++k) {
             const float weight = wv.at(i, k);
-            if (weight == 0.0f) continue;
+            if (IsExactlyZero(weight)) continue;
             const float* vrow = vv.data() + (i * num_keys + k) * d;
             for (int64_t c = 0; c < d; ++c) orow[c] += weight * vrow[c];
           }
         }
       });
-  return MakeNode(
+  return MakeNode("BatchWeightedSum", 
       std::move(out), {w, v_block}, [b, d, num_keys](VarNode& self) {
         VarNode& pw = *self.parents[0];
         VarNode& pv = *self.parents[1];
@@ -879,7 +888,7 @@ Var BatchWeightedSum(const Var& w, const Var& v_block, int64_t num_keys) {
                   }
                   if (pv.requires_grad) {
                     const float weight = pw.value.at(i * num_keys + k);
-                    if (weight == 0.0f) continue;
+                    if (IsExactlyZero(weight)) continue;
                     Tensor& gv = pv.grad;
                     for (int64_t c = 0; c < d; ++c)
                       gv.at(vrow + c) += weight * grow[c];

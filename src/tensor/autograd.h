@@ -24,6 +24,12 @@ struct VarNode {
   Tensor grad;
   /// Whether gradients should flow to/through this node.
   bool requires_grad = false;
+  /// Name of the op that recorded this node ("leaf" for Constant/Parameter);
+  /// static-storage string, used by the BENCHTEMP_CHECK tape validator.
+  const char* op = "leaf";
+  /// Set by the tape validator once Backward() consumed this interior node;
+  /// its grad buffer is then NaN-poisoned and must not be reused.
+  bool tape_released = false;
   std::vector<std::shared_ptr<VarNode>> parents;
   /// Propagates `grad` into the parents' `grad` fields. Null for leaves.
   std::function<void(VarNode&)> backward_fn;

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "tensor/numeric.h"
+
 namespace benchtemp::tensor {
 
 namespace {
@@ -131,7 +133,7 @@ bool Adam::RestoreState(const std::string& blob) {
 
 Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
-  if (momentum_ != 0.0f) {
+  if (!IsExactlyZero(momentum_)) {
     velocity_.reserve(params_.size());
     for (const Var& p : params_) velocity_.emplace_back(p->value.shape());
   }
@@ -143,7 +145,7 @@ void Sgd::Step() {
     if (p.grad.size() != p.value.size()) continue;
     for (int64_t j = 0; j < p.value.size(); ++j) {
       float update = p.grad.at(j);
-      if (momentum_ != 0.0f) {
+      if (!IsExactlyZero(momentum_)) {
         velocity_[i].at(j) = momentum_ * velocity_[i].at(j) + update;
         update = velocity_[i].at(j);
       }
@@ -183,7 +185,7 @@ void ClipGradNorm(const std::vector<Var>& params, float max_norm) {
     }
   }
   const double norm = std::sqrt(total);
-  if (norm <= max_norm || norm == 0.0) return;
+  if (norm <= max_norm || IsExactlyZero(norm)) return;
   const float scale = max_norm / static_cast<float>(norm);
   for (const Var& p : params) {
     if (p->grad.size() != p->value.size()) continue;

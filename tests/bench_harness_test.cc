@@ -57,9 +57,9 @@ TEST(BenchHarnessTest, TgatInheritsDatasetWindow) {
       ModelConfigFor(models::ModelKind::kTgat, *untrade, grid);
   EXPECT_GT(config.tgat_time_window, 0.0);
   const datagen::DatasetSpec* reddit = datagen::FindDataset("Reddit");
-  EXPECT_EQ(ModelConfigFor(models::ModelKind::kTgat, *reddit, grid)
-                .tgat_time_window,
-            0.0);
+  EXPECT_DOUBLE_EQ(ModelConfigFor(models::ModelKind::kTgat, *reddit, grid)
+                       .tgat_time_window,
+                   0.0);
 }
 
 TEST(BenchHarnessTest, NeurTwUsesSafeBiasOnCoarseDatasets) {

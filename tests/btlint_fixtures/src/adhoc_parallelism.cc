@@ -1,0 +1,17 @@
+// Fixture: pool-external parallelism inside src/.
+#include <future>
+#include <thread>
+
+namespace fixture {
+
+void SpawnThread() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+int SpawnAsync() {
+  auto f = std::async(std::launch::async, [] { return 1; });
+  return f.get();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// btlint: allow-file(banned-random)
+// Fixture: a file-level allow covers every occurrence of that one rule —
+// but only that rule. Expected findings: raw-new (x1), nothing else.
+#include <cstdlib>
+
+namespace fixture {
+
+int First() { return std::rand(); }
+
+int Second() { return std::rand(); }
+
+int* StillFlagged() { return new int(1); }
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: every banned randomness source in one file.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int HiddenStateDraw() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return std::rand();
+}
+
+unsigned NondeterministicSeed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

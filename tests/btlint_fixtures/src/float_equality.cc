@@ -1,0 +1,10 @@
+// Fixture: exact floating-point comparisons.
+namespace fixture {
+
+bool Same(float a, float b) { return a == b; }
+
+bool IsUnit(double x) { return x == 1.0; }
+
+bool Changed(double before, double after) { return before != after; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: unchecked 64-to-32-bit narrowing of node/edge ids.
+#include <cstdint>
+
+namespace fixture {
+
+int32_t ToNode(int64_t node_id) { return static_cast<int32_t>(node_id); }
+
+int32_t ToEdge(int64_t raw) {
+  const int64_t edge_idx = raw * 2;
+  return static_cast<int32_t>(edge_idx);
+}
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: header with no include guard and no #pragma once.
+namespace fixture {
+
+int Unguarded();
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: racy scalar float accumulation across ParallelFor iterations.
+#include "runtime/thread_pool.h"
+
+namespace fixture {
+
+double SumSquares(const float* values, int64_t n) {
+  double total = 0.0;
+  benchtemp::runtime::ParallelFor(0, n, 256, [&](int64_t i) {
+    total += static_cast<double>(values[i]) * values[i];
+  });
+  return total;
+}
+
+// Chunk-local accumulators declared inside the body are fine (deterministic
+// per-chunk reduction) and must NOT fire.
+double ChunkLocalOk(const float* values, int64_t n) {
+  benchtemp::runtime::ParallelFor(0, n, 256, [&](int64_t i) {
+    float local = 0.0f;
+    local += values[i];
+    (void)local;
+  });
+  return 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: raw new/delete.
+namespace fixture {
+
+struct Blob {
+  int payload = 0;
+};
+
+int Leaky() {
+  Blob* b = new Blob();
+  const int v = b->payload;
+  delete b;
+  return v;
+}
+
+// `= delete` is declaration syntax, not deallocation, and must NOT fire.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+};
+
+}  // namespace fixture

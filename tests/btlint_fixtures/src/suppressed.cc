@@ -1,0 +1,51 @@
+// Fixture: every rule from the clean-suppression angle — one violation per
+// rule, each silenced by a targeted allow comment. Expected finding count: 0.
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+
+#include "runtime/thread_pool.h"
+
+namespace fixture {
+
+int SameLineAllow() {
+  return std::rand();  // btlint: allow(banned-random)
+}
+
+void OwnLineAllow() {
+  // btlint: allow(adhoc-parallelism)
+  std::thread worker([] {});
+  worker.join();
+}
+
+double ReduceAllowed(const float* values, int64_t n) {
+  double total = 0.0;
+  benchtemp::runtime::ParallelFor(0, n, 256, [&](int64_t i) {
+    total += values[i];  // btlint: allow(parallel-float-reduce)
+  });
+  return total;
+}
+
+double DrainAllowed(const std::unordered_map<int, double>& scores) {
+  double total = 0.0;
+  // btlint: allow(unordered-drain)
+  for (const auto& entry : scores) total += entry.second;
+  return total;
+}
+
+bool CompareAllowed(float a, float b) {
+  return a == b;  // btlint: allow(float-equality)
+}
+
+int32_t NarrowAllowed(int64_t node_id) {
+  // btlint: allow(id-narrowing)
+  return static_cast<int32_t>(node_id);
+}
+
+int* NewAllowed() {
+  // A wildcard allow also works.
+  return new int(7);  // btlint: allow(*)
+}
+
+}  // namespace fixture

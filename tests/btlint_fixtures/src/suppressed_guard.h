@@ -1,0 +1,7 @@
+// btlint: allow-file(missing-include-guard)
+// Fixture: guardless header silenced by a file-level allow.
+namespace fixture {
+
+int StillUnguardedButAllowed();
+
+}  // namespace fixture

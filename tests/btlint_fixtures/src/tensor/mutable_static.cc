@@ -1,0 +1,20 @@
+// Fixture: mutable shared state in the parallel core (path src/tensor/...).
+#include <cstdint>
+
+namespace benchtemp::tensor {
+
+int64_t g_call_count = 0;
+
+int64_t CountCalls() {
+  static int64_t hits = 0;
+  ++hits;
+  ++g_call_count;
+  return hits;
+}
+
+// Immutable and thread-local state is fine and must NOT fire.
+constexpr int kLimit = 8;
+const int kOther = 9;
+thread_local int scratch = 0;
+
+}  // namespace benchtemp::tensor

@@ -1,0 +1,10 @@
+// Fixture: mutable-static suppression in the parallel core.
+#include <cstdint>
+
+namespace benchtemp::tensor {
+
+// Guarded by a mutex elsewhere; documented exception.
+// btlint: allow(mutable-static)
+int64_t g_profiled_bytes = 0;
+
+}  // namespace benchtemp::tensor

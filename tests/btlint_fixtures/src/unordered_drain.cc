@@ -1,0 +1,18 @@
+// Fixture: draining unordered containers in implementation-defined order.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+double SumValues(const std::unordered_map<int, double>& scores) {
+  double total = 0.0;
+  for (const auto& entry : scores) total += entry.second;
+  return total;
+}
+
+std::vector<int> CopyOut(const std::unordered_set<int>& keep) {
+  return std::vector<int>(keep.begin(), keep.end());
+}
+
+}  // namespace fixture

@@ -1,0 +1,223 @@
+// Tests for btlint (tools/btlint): each rule fires on its seeded fixture,
+// suppressions silence exactly what they claim to, and the JSON output is
+// byte-stable. Fixture sources live under tests/btlint_fixtures/ and mirror
+// repo paths (src/..., src/tensor/...) so path-scoped rules apply; the
+// fixture tree is excluded from normal `btlint` scans and linted only here.
+
+#include "tools/btlint/rules.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using btlint::Finding;
+using btlint::LintFile;
+
+#ifndef BTLINT_FIXTURE_DIR
+#error "BTLINT_FIXTURE_DIR must point at tests/btlint_fixtures"
+#endif
+
+/// Reads a fixture by its path relative to the fixture root. The same
+/// relative path is fed to LintFile, so rules scoped to src/... see the
+/// path shape they would in a real scan.
+std::string ReadFixture(const std::string& rel) {
+  const std::string full = std::string(BTLINT_FIXTURE_DIR) + "/" + rel;
+  std::ifstream in(full, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << full;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Finding> LintFixture(const std::string& rel) {
+  return LintFile(rel, ReadFixture(rel));
+}
+
+std::multiset<std::string> RuleIds(const std::vector<Finding>& findings) {
+  std::multiset<std::string> ids;
+  for (const Finding& f : findings) ids.insert(f.rule);
+  return ids;
+}
+
+TEST(BtlintCatalogTest, NineRulesWithUniqueIds) {
+  const auto& rules = btlint::Rules();
+  EXPECT_EQ(rules.size(), 9u);
+  std::set<std::string> ids;
+  for (const auto& r : rules) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
+    EXPECT_FALSE(std::string(r.summary).empty());
+  }
+}
+
+TEST(BtlintRuleTest, BannedRandomFires) {
+  const auto ids = RuleIds(LintFixture("src/banned_random.cc"));
+  // srand, time, rand, random_device.
+  EXPECT_EQ(ids.count("banned-random"), 4u);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(BtlintRuleTest, BannedRandomExemptsRngImplementation) {
+  // The same source under the Rng implementation path is the one place
+  // allowed to touch these primitives.
+  const auto findings =
+      LintFile("src/tensor/random.cc", ReadFixture("src/banned_random.cc"));
+  EXPECT_EQ(RuleIds(findings).count("banned-random"), 0u);
+}
+
+TEST(BtlintRuleTest, AdhocParallelismFires) {
+  const auto ids = RuleIds(LintFixture("src/adhoc_parallelism.cc"));
+  // std::thread, std::async.
+  EXPECT_EQ(ids.count("adhoc-parallelism"), 2u);
+}
+
+TEST(BtlintRuleTest, AdhocParallelismExemptsRuntimeAndTests) {
+  const std::string source = ReadFixture("src/adhoc_parallelism.cc");
+  EXPECT_TRUE(LintFile("src/runtime/pool_impl.cc", source).empty());
+  EXPECT_TRUE(LintFile("tests/some_test.cc", source).empty());
+}
+
+TEST(BtlintRuleTest, ParallelFloatReduceFiresOnlyOnSharedAccumulator) {
+  const auto findings = LintFixture("src/parallel_float_reduce.cc");
+  const auto ids = RuleIds(findings);
+  // `total` (declared outside the body) fires; the chunk-local `local`
+  // accumulator must not.
+  EXPECT_EQ(ids.count("parallel-float-reduce"), 1u);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("'total'"), std::string::npos);
+}
+
+TEST(BtlintRuleTest, UnorderedDrainFires) {
+  const auto ids = RuleIds(LintFixture("src/unordered_drain.cc"));
+  // Range-for over unordered_map + begin() walk of unordered_set.
+  EXPECT_EQ(ids.count("unordered-drain"), 2u);
+}
+
+TEST(BtlintRuleTest, MutableStaticFiresOnGlobalsAndStaticLocals) {
+  const auto findings = LintFixture("src/tensor/mutable_static.cc");
+  // Namespace-scope g_call_count + function-local static hits; the
+  // constexpr/const/thread_local declarations must not fire.
+  EXPECT_EQ(RuleIds(findings).count("mutable-static"), 2u);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(BtlintRuleTest, MutableStaticScopedToParallelCore) {
+  // Identical source outside src/tensor|graph|runtime is not in scope.
+  const auto findings = LintFile("src/core/mutable_static.cc",
+                                 ReadFixture("src/tensor/mutable_static.cc"));
+  EXPECT_EQ(RuleIds(findings).count("mutable-static"), 0u);
+}
+
+TEST(BtlintRuleTest, FloatEqualityFires) {
+  const auto ids = RuleIds(LintFixture("src/float_equality.cc"));
+  // a == b, x == 1.0, before != after.
+  EXPECT_EQ(ids.count("float-equality"), 3u);
+}
+
+TEST(BtlintRuleTest, GtestMacrosOnlyFlagTopLevelFloatOperands) {
+  const std::string source =
+      "void T() {\n"
+      "  EXPECT_EQ(Weight(0.0, 1e6), 0.0);\n"       // 0.0 operand: fires
+      "  EXPECT_EQ(Recent(0, 1.5, 5).size(), 2u);\n"  // nested 1.5: clean
+      "}\n";
+  const auto ids = RuleIds(LintFile("tests/t.cc", source));
+  EXPECT_EQ(ids.count("float-equality"), 1u);
+}
+
+TEST(BtlintRuleTest, IdNarrowingFires) {
+  const auto ids = RuleIds(LintFixture("src/id_narrowing.cc"));
+  // static_cast<int32_t>(node_id) and static_cast<int32_t>(edge_idx).
+  EXPECT_EQ(ids.count("id-narrowing"), 2u);
+}
+
+TEST(BtlintRuleTest, RawNewFiresButNotOnDeletedFunctions) {
+  const auto ids = RuleIds(LintFixture("src/raw_new.cc"));
+  // One new + one delete; `= delete` stays clean.
+  EXPECT_EQ(ids.count("raw-new"), 2u);
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(BtlintRuleTest, MissingIncludeGuardFires) {
+  const auto findings = LintFixture("src/missing_guard.h");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "missing-include-guard");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(BtlintRuleTest, IncludeGuardAcceptsBothStyles) {
+  EXPECT_TRUE(LintFile("src/a.h",
+                       "#ifndef A_H_\n#define A_H_\nint F();\n#endif\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/b.h", "#pragma once\nint F();\n").empty());
+}
+
+TEST(BtlintSuppressionTest, PerLineAllowsSilenceEveryRule) {
+  // suppressed.cc seeds one violation per rule, each with a targeted (or
+  // wildcard) allow on the same or preceding line.
+  EXPECT_TRUE(LintFixture("src/suppressed.cc").empty());
+  EXPECT_TRUE(LintFixture("src/suppressed_guard.h").empty());
+  EXPECT_TRUE(LintFixture("src/tensor/mutable_static_allowed.cc").empty());
+}
+
+TEST(BtlintSuppressionTest, AllowFileCoversOnlyTheNamedRule) {
+  const auto ids = RuleIds(LintFixture("src/allow_file.cc"));
+  EXPECT_EQ(ids.count("banned-random"), 0u);  // allow-file silences both uses
+  EXPECT_EQ(ids.count("raw-new"), 1u);        // other rules still fire
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(BtlintSuppressionTest, AllowCoversOnlyItsLine) {
+  const std::string source =
+      "void F() {\n"
+      "  int* a = new int(1);  // btlint: allow(raw-new)\n"
+      "  int* b = new int(2);\n"
+      "}\n";
+  const auto findings = LintFile("src/f.cc", source);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(BtlintJsonTest, EmptyReportIsStable) {
+  EXPECT_EQ(btlint::ToJson({}),
+            "{\n  \"version\": 1,\n  \"count\": 0,\n  \"findings\": []\n}\n");
+}
+
+TEST(BtlintJsonTest, GoldenReport) {
+  std::vector<Finding> findings = {
+      {"src/a.cc", 3, 7, "raw-new", "raw 'new'"},
+      {"src/b.h", 1, 1, "missing-include-guard", "say \"guard\""},
+  };
+  EXPECT_EQ(btlint::ToJson(findings),
+            "{\n"
+            "  \"version\": 1,\n"
+            "  \"count\": 2,\n"
+            "  \"findings\": [\n"
+            "    {\"path\": \"src/a.cc\", \"line\": 3, \"col\": 7, "
+            "\"rule\": \"raw-new\", \"message\": \"raw 'new'\"},\n"
+            "    {\"path\": \"src/b.h\", \"line\": 1, \"col\": 1, "
+            "\"rule\": \"missing-include-guard\", "
+            "\"message\": \"say \\\"guard\\\"\"}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(BtlintOrderingTest, FindingsSortedByPathLineColRule) {
+  // Two files' worth of source in one LintFile call is impossible, so
+  // check ordering within one file: multiple findings come out sorted.
+  const auto findings = LintFixture("src/banned_random.cc");
+  for (size_t i = 1; i < findings.size(); ++i) {
+    const bool ordered =
+        findings[i - 1].line < findings[i].line ||
+        (findings[i - 1].line == findings[i].line &&
+         findings[i - 1].col <= findings[i].col);
+    EXPECT_TRUE(ordered) << "finding " << i << " out of order";
+  }
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 #include "graph/neighbor_finder.h"
 #include "graph/walks.h"
 #include "tensor/autograd.h"
+#include "tensor/numeric.h"
 #include "tensor/random.h"
 #include "tensor/tensor.h"
 
@@ -146,7 +147,7 @@ std::vector<std::vector<graph::TemporalWalk>> SampleAt(
   std::vector<int32_t> nodes;
   std::vector<double> ts;
   for (int32_t i = 0; i < 40; ++i) {
-    nodes.push_back(i % static_cast<int32_t>(g.num_nodes()));
+    nodes.push_back(i % tensor::NarrowId(g.num_nodes(), "test: node count"));
     ts.push_back(900.0 - i);
   }
   return sampler.SampleWalkBatch(finder, nodes, ts, /*count=*/5,

@@ -70,7 +70,7 @@ TEST(WalkTest, ExponentialWeightUnderflowsOnCoarseGranularity) {
   // The failure mode the paper's Eq. (2)/(3) fixes: with huge raw time
   // gaps every candidate weight collapses to zero.
   TemporalWalkSampler sampler(WalkBias::kExponential, 1.0);
-  EXPECT_EQ(sampler.StepWeight(0.0, 1e6), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.StepWeight(0.0, 1e6), 0.0);
   TemporalWalkSampler safe(WalkBias::kLinearSafe);
   EXPECT_GT(safe.StepWeight(0.0, 1e6), 0.0);
 }

@@ -1,0 +1,135 @@
+// btlint — BenchTemp's project-specific static analyzer.
+//
+// Enforces the determinism / parallel-safety / numeric-hygiene invariants
+// that clang-tidy cannot express (see DESIGN.md, "Static analysis &
+// invariants"). Dependency-free; exits 0 when the tree is clean, 1 when any
+// rule fires, 2 on usage or I/O errors.
+//
+//   btlint [--json] [--list-rules] [--root DIR] [paths...]
+//
+// Default paths (relative to --root, default "."): src bench tests.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Recursively collects lintable files under `path`, sorted so output (and
+/// JSON) is byte-stable regardless of directory enumeration order.
+bool CollectFiles(const fs::path& path, std::vector<fs::path>* out) {
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) {
+    out->push_back(path);
+    return true;
+  }
+  if (!fs::is_directory(path, ec)) {
+    std::fprintf(stderr, "btlint: no such file or directory: %s\n",
+                 path.string().c_str());
+    return false;
+  }
+  for (fs::recursive_directory_iterator it(path, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    // Fixture trees carry deliberately seeded violations; they are linted
+    // explicitly by tests (with the fixture dir as --root), never as part
+    // of a normal tree scan.
+    if (it->is_directory(ec) && it->path().filename() == "btlint_fixtures") {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+      out->push_back(it->path());
+    }
+  }
+  return true;
+}
+
+std::string RepoRelative(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty()) rel = file;
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  fs::path root = ".";
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const btlint::RuleInfo& r : btlint::Rules()) {
+        std::printf("%-22s %-16s %s\n", r.id, r.category, r.summary);
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "btlint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: btlint [--json] [--list-rules] [--root DIR] [paths...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "btlint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests"};
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path full = fs::path(p);
+    if (full.is_relative()) full = root / full;
+    if (!CollectFiles(full, &files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<btlint::Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "btlint: cannot read %s\n", file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel = RepoRelative(file, root);
+    std::vector<btlint::Finding> file_findings =
+        btlint::LintFile(rel, buf.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  if (json) {
+    std::fputs(btlint::ToJson(findings).c_str(), stdout);
+  } else {
+    std::fputs(btlint::ToText(findings).c_str(), stdout);
+    std::fprintf(stderr, "btlint: %zu file(s) scanned, %zu finding(s)\n",
+                 files.size(), findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

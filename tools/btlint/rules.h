@@ -1,0 +1,44 @@
+#ifndef BENCHTEMP_TOOLS_BTLINT_RULES_H_
+#define BENCHTEMP_TOOLS_BTLINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace btlint {
+
+/// One lint finding. `path` is repo-relative with '/' separators.
+struct Finding {
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A rule in the catalog (for --list-rules and the docs).
+struct RuleInfo {
+  const char* id;
+  const char* category;  // determinism | parallel-safety | numeric | api
+  const char* summary;
+};
+
+/// The rule catalog, in stable order.
+const std::vector<RuleInfo>& Rules();
+
+/// Lints one file. `path` must be repo-relative ('/'-separated): rule
+/// scoping (kernel dirs, the RNG sanctuary, header-only rules) keys off it.
+/// Suppressions (`// btlint: allow(rule)` same/previous line,
+/// `// btlint: allow-file(rule)` anywhere) are already applied.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& source);
+
+/// Stable JSON rendering: findings sorted by (path, line, col, rule), one
+/// finding per line, LF line endings, no locale dependence.
+std::string ToJson(const std::vector<Finding>& findings);
+
+/// Human rendering: "path:line:col: [rule] message" per finding.
+std::string ToText(const std::vector<Finding>& findings);
+
+}  // namespace btlint
+
+#endif  // BENCHTEMP_TOOLS_BTLINT_RULES_H_
