@@ -8,6 +8,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("ablation_temp_quantile");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
   std::printf(

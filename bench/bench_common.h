@@ -20,6 +20,13 @@
 //   BENCHTEMP_JOB_DEADLINE per-job watchdog deadline in seconds (0 = off);
 //                          an expired job is annotated "x"
 //   BENCHTEMP_FAULTS       fault-injection spec (FaultInjector grammar)
+//
+// Observability knobs (see DESIGN.md "Observability"):
+//   BENCHTEMP_METRICS      "1"/"on" turns collection on; any other value is
+//                          a path for a standalone JSON (or, with a ".csv"
+//                          suffix, CSV) export at exit
+//   BENCHTEMP_BENCH_DIR    directory for the BENCH_<name>.json artifact
+//                          every bench binary emits (default: cwd)
 
 #include <atomic>
 #include <cstdio>
@@ -33,10 +40,31 @@
 #include "datagen/catalog.h"
 #include "graph/walks.h"
 #include "models/factory.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "robustness/sweep.h"
 #include "runtime/thread_pool.h"
 
 namespace benchtemp::bench {
+
+/// Declared first in every bench main: emits the schema-versioned
+/// BENCH_<name>.json artifact (and the BENCHTEMP_METRICS standalone export,
+/// when requested) as the binary exits.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(const char* name)
+      : name_(name), start_(obs::NowSeconds()) {}
+  ~BenchArtifact() {
+    obs::EmitBenchArtifacts(name_, obs::NowSeconds() - start_,
+                            core::MaxRssGb());
+  }
+  BenchArtifact(const BenchArtifact&) = delete;
+  BenchArtifact& operator=(const BenchArtifact&) = delete;
+
+ private:
+  std::string name_;
+  double start_;
+};
 
 inline int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
@@ -156,6 +184,24 @@ inline AggregatedLp RunAggregatedLp(
       ap[s].push_back(result.test[s].ap);
     }
     agg.efficiency = result.efficiency;
+    if (obs::MetricRegistry::Enabled()) {
+      obs::RunRecord record;
+      record.model = models::ModelKindName(kind);
+      record.dataset = spec.name;
+      record.task = "link_prediction";
+      record.epochs_run = result.efficiency.epochs_run;
+      record.nan_retries = result.nan_retries;
+      record.seconds_per_epoch = result.efficiency.seconds_per_epoch;
+      record.retried_epoch_seconds =
+          result.efficiency.retried_epoch_seconds;
+      record.train_events_per_second =
+          result.efficiency.train_events_per_second;
+      record.state_bytes = result.efficiency.state_bytes;
+      record.parameter_bytes = result.efficiency.parameter_bytes;
+      record.checkpoint_bytes = result.efficiency.checkpoint_bytes;
+      record.phase_seconds = result.efficiency.phase_seconds;
+      obs::MetricRegistry::Global().AppendRun(record);
+    }
   }
   for (int s = 0; s < 4; ++s) {
     agg.auc[s] = core::Summarize(auc[s]);

@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("fig2_feature_dim");
   using namespace benchtemp;
   bench::GridConfig grid = bench::DefaultGrid();
   grid.runs = 1;

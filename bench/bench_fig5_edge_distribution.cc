@@ -45,6 +45,7 @@ void PrintDistribution(const benchtemp::graph::TemporalGraph& g,
 }  // namespace
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("fig5_edge_distribution");
   using namespace benchtemp;
   std::printf(
       "Figure 5 reproduction: temporal edge distributions (ASCII).\n"

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "core/edge_sampler.h"
 #include "core/evaluator.h"
 #include "datagen/synthetic.h"
@@ -175,4 +176,11 @@ BENCHMARK(BM_SyntheticGeneration)->Arg(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchtemp::bench::BenchArtifact artifact("micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

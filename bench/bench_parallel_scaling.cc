@@ -71,6 +71,7 @@ ScalingPoint RunAt(const graph::TemporalGraph& g, int32_t num_users,
 }  // namespace
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("parallel_scaling");
   const bool quick = bench::EnvInt("BENCHTEMP_QUICK", 0) != 0;
   const int max_threads = std::max(
       1, bench::EnvInt("BENCHTEMP_SCALING_THREADS",

@@ -6,6 +6,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table13_temp");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
   std::printf("Table 13/14/15 reproduction: TeMP (the paper's own model)\n\n");

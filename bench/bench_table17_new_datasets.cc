@@ -6,6 +6,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table17_new_datasets");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
   std::printf("Table 17/18/19/20/21 reproduction: the six new datasets\n\n");

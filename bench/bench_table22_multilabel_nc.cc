@@ -6,6 +6,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table22_multilabel_nc");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
   const datagen::DatasetSpec* spec = datagen::FindDataset("DGraphFin");

@@ -8,6 +8,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table23_node_ablation");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
   std::printf(

@@ -70,6 +70,7 @@ SubgraphStats StatsOf(const core::ReindexResult& sub) {
 }  // namespace
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table25_cawn_density");
   const bench::GridConfig grid = bench::DefaultGrid();
   const datagen::DatasetSpec* spec = datagen::FindDataset("MOOC");
   graph::TemporalGraph mooc = datagen::LoadDataset(*spec);

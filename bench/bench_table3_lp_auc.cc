@@ -18,6 +18,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table3_lp_auc");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
   const robustness::SweepOptions sweep_options = bench::SweepOptionsFromEnv();

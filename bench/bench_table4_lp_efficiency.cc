@@ -10,6 +10,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table4_lp_efficiency");
   using namespace benchtemp;
   bench::GridConfig grid = bench::DefaultGrid();
   grid.runs = 1;  // efficiency numbers do not need repetition

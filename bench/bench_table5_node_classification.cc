@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table5_node_classification");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
   std::printf(

@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 
 int main() {
+  benchtemp::bench::BenchArtifact artifact("table6_split_stats");
   using namespace benchtemp;
   const bench::GridConfig grid = bench::DefaultGrid();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "tensor/numeric.h"
 
 namespace benchtemp::core {
@@ -30,6 +31,8 @@ RandomEdgeSampler::RandomEdgeSampler(int32_t dst_lo, int32_t dst_hi,
 
 std::vector<int32_t> RandomEdgeSampler::SampleNegatives(
     const std::vector<int32_t>& srcs) {
+  obs::MetricRegistry::Global().Add(obs::Counter::kSamplerNegatives,
+                                    static_cast<int64_t>(srcs.size()));
   std::vector<int32_t> out;
   out.reserve(srcs.size());
   for (size_t i = 0; i < srcs.size(); ++i) {
@@ -60,6 +63,8 @@ HistoricalEdgeSampler::HistoricalEdgeSampler(
 
 std::vector<int32_t> HistoricalEdgeSampler::SampleNegatives(
     const std::vector<int32_t>& srcs) {
+  obs::MetricRegistry::Global().Add(obs::Counter::kSamplerNegatives,
+                                    static_cast<int64_t>(srcs.size()));
   std::vector<int32_t> out;
   out.reserve(srcs.size());
   for (int32_t src : srcs) {
@@ -109,6 +114,8 @@ InductiveEdgeSampler::InductiveEdgeSampler(
 
 std::vector<int32_t> InductiveEdgeSampler::SampleNegatives(
     const std::vector<int32_t>& srcs) {
+  obs::MetricRegistry::Global().Add(obs::Counter::kSamplerNegatives,
+                                    static_cast<int64_t>(srcs.size()));
   std::vector<int32_t> out;
   out.reserve(srcs.size());
   for (size_t i = 0; i < srcs.size(); ++i) {

@@ -113,11 +113,15 @@ WeightedPrf WeightedPrecisionRecallF1(const std::vector<int>& predicted,
                               ? static_cast<double>(true_pos[ci]) /
                                     static_cast<double>(support[ci])
                               : 0.0;
+    // sklearn's average="weighted" support-weights the *per-class* F1, which
+    // differs from the F1 of the weighted P/R aggregates whenever class-wise
+    // precision and recall are imbalanced.
+    const double f1 = precision + recall > 0.0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
     out.precision += weight * precision;
     out.recall += weight * recall;
-  }
-  if (out.precision + out.recall > 0.0) {
-    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+    out.f1 += weight * f1;
   }
   return out;
 }
@@ -127,9 +131,12 @@ MeanStd Summarize(const std::vector<double>& values) {
   if (values.empty()) return out;
   for (double v : values) out.mean += v;
   out.mean /= static_cast<double>(values.size());
+  // Sample (n-1) std, matching numpy with ddof=1 as used by the paper's
+  // mean±std-over-3-runs tables; a single run has no spread estimate.
+  if (values.size() < 2) return out;
   double var = 0.0;
   for (double v : values) var += (v - out.mean) * (v - out.mean);
-  out.std = std::sqrt(var / static_cast<double>(values.size()));
+  out.std = std::sqrt(var / static_cast<double>(values.size() - 1));
   return out;
 }
 

@@ -27,7 +27,9 @@ double Accuracy(const std::vector<int>& predicted,
                 const std::vector<int>& actual);
 
 /// Weighted precision/recall/F1 (support-weighted one-vs-rest, the formulas
-/// of Appendix G).
+/// of Appendix G). F1 follows sklearn's f1_score(average="weighted"): the
+/// per-class F1 scores are computed first and then support-weighted — NOT
+/// the harmonic mean of the weighted precision/recall aggregates.
 struct WeightedPrf {
   double precision = 0.0;
   double recall = 0.0;
@@ -37,8 +39,9 @@ WeightedPrf WeightedPrecisionRecallF1(const std::vector<int>& predicted,
                                       const std::vector<int>& actual,
                                       int num_classes);
 
-/// Mean and (population) standard deviation over repeated runs — the paper
-/// reports "mean ± std over three runs".
+/// Mean and sample (n-1) standard deviation over repeated runs — the paper
+/// reports "mean ± std over three runs" with the numpy ddof=1 convention.
+/// A single value has std 0.0 by definition.
 struct MeanStd {
   double mean = 0.0;
   double std = 0.0;

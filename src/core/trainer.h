@@ -12,6 +12,7 @@
 #include "graph/temporal_graph.h"
 #include "models/factory.h"
 #include "models/model.h"
+#include "obs/metrics.h"
 
 namespace benchtemp::core {
 
@@ -60,6 +61,8 @@ struct TrainConfig {
 ///   GPU Mem  -> model state + parameter bytes,
 ///   GPU Util -> training throughput (events/second).
 struct EfficiencyStats {
+  /// Mean wall-time of *kept* epochs; epochs rolled back by the NaN-retry
+  /// path are excluded and accounted in retried_epoch_seconds instead.
   double seconds_per_epoch = 0.0;
   int epochs_run = 0;
   int best_epoch = -1;
@@ -69,6 +72,13 @@ struct EfficiencyStats {
   int64_t parameter_bytes = 0;
   double train_events_per_second = 0.0;
   double inference_seconds_per_100k = 0.0;
+  /// Total wall-time spent in epochs that were rolled back and retried.
+  double retried_epoch_seconds = 0.0;
+  /// Bytes of the last committed on-disk job checkpoint (0 when disabled).
+  int64_t checkpoint_bytes = 0;
+  /// Per-phase wall-time attributed to this run while metrics collection
+  /// was enabled (all-zero otherwise). Indexed by static_cast<int>(Phase).
+  std::array<double, obs::kNumPhases> phase_seconds{};
 };
 
 /// Metrics of one evaluation setting.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "robustness/fault_injector.h"
 
 namespace benchtemp::robustness {
@@ -12,7 +13,7 @@ namespace benchtemp::robustness {
 namespace {
 
 constexpr char kMagic[4] = {'B', 'T', 'J', 'C'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;  // v2: + retried_epoch_seconds
 
 uint64_t Fnv1a(const std::string& bytes) {
   uint64_t hash = 1469598103934665603ull;
@@ -82,7 +83,8 @@ bool ReadFile(const std::string& path, std::string* payload) {
   return true;
 }
 
-bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt) {
+bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt,
+                       int64_t* bytes_out) {
   std::ostringstream body(std::ios::binary);
   body.write(kMagic, sizeof(kMagic));
   WritePod(body, kVersion);
@@ -91,6 +93,7 @@ bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt) {
   WritePod(body, ckpt.nan_retries);
   WritePod(body, ckpt.learning_rate);
   WritePod(body, ckpt.total_epoch_seconds);
+  WritePod(body, ckpt.retried_epoch_seconds);
   WritePod(body, ckpt.seed);
   WritePod(body, ckpt.monitor.best_metric);
   WritePod(body, ckpt.monitor.best_epoch);
@@ -107,7 +110,13 @@ bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt) {
   std::string payload = body.str();
   const uint64_t checksum = Fnv1a(payload);
   payload.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  return AtomicWriteFile(path, payload);
+  if (!AtomicWriteFile(path, payload)) return false;
+  if (bytes_out != nullptr) *bytes_out = static_cast<int64_t>(payload.size());
+  auto& registry = obs::MetricRegistry::Global();
+  registry.Add(obs::Counter::kCheckpointWrites, 1);
+  registry.Add(obs::Counter::kCheckpointBytes,
+               static_cast<int64_t>(payload.size()));
+  return true;
 }
 
 bool LoadJobCheckpoint(const std::string& path, JobCheckpoint* out) {
@@ -132,6 +141,7 @@ bool LoadJobCheckpoint(const std::string& path, JobCheckpoint* out) {
   if (!ReadPod(in, &ckpt.nan_retries)) return false;
   if (!ReadPod(in, &ckpt.learning_rate)) return false;
   if (!ReadPod(in, &ckpt.total_epoch_seconds)) return false;
+  if (!ReadPod(in, &ckpt.retried_epoch_seconds)) return false;
   if (!ReadPod(in, &ckpt.seed)) return false;
   if (!ReadPod(in, &ckpt.monitor.best_metric)) return false;
   if (!ReadPod(in, &ckpt.monitor.best_epoch)) return false;

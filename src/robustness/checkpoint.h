@@ -32,10 +32,12 @@ bool ReadFile(const std::string& path, std::string* payload);
 /// rebuilds it by replaying the event stream, so the epoch boundary is a
 /// natural cut point.
 ///
-/// On-disk format (version 1): magic "BTJC", uint32 version, the fixed
+/// On-disk format (version 2): magic "BTJC", uint32 version, the fixed
 /// meta fields, five length-prefixed blob sections, and a trailing FNV-1a
 /// checksum of everything before it. Loading verifies magic, version, and
-/// checksum, so a corrupt or truncated checkpoint is rejected as a whole.
+/// checksum, so a corrupt or truncated checkpoint is rejected as a whole
+/// (a version-1 file is rejected too — the job simply restarts fresh).
+/// Version 2 added `retried_epoch_seconds`.
 struct JobCheckpoint {
   /// Epoch to run next (epochs [0, next_epoch) are complete).
   int32_t next_epoch = 0;
@@ -46,6 +48,9 @@ struct JobCheckpoint {
   float learning_rate = 0.0f;
   /// Wall-clock training time accumulated before the interruption.
   double total_epoch_seconds = 0.0;
+  /// Wall-clock time of epochs rolled back by the NaN-retry path; kept out
+  /// of total_epoch_seconds so throughput metrics stay honest.
+  double retried_epoch_seconds = 0.0;
   /// Job seed, sanity-checked on resume so a checkpoint is never applied
   /// to a different job configuration.
   uint64_t seed = 0;
@@ -65,8 +70,10 @@ struct JobCheckpoint {
 };
 
 /// Serializes `ckpt` and writes it atomically. Returns false on I/O
-/// failure (including an injected crash before the rename).
-bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt);
+/// failure (including an injected crash before the rename). On success
+/// `bytes_out` (may be null) receives the committed payload size.
+bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt,
+                       int64_t* bytes_out = nullptr);
 
 /// Loads and verifies a checkpoint. Returns false (out untouched) when the
 /// file is missing, corrupt, truncated, or of an unknown version.

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "robustness/watchdog.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
@@ -207,17 +208,22 @@ SweepReport RunSweep(const std::vector<SweepJob>& jobs,
 
   // Push in jobs order — not completion order — so the leaderboard CSV is
   // identical however the sweep was interleaved or interrupted.
+  auto& registry = obs::MetricRegistry::Global();
   for (size_t i = 0; i < jobs.size(); ++i) {
     for (const core::LeaderboardRecord& r : results[i].records) {
       board->Add(r);
     }
     if (replayed[i]) {
       ++report.skipped;
+      registry.Add(obs::Counter::kSweepJobsReplayed, 1);
     } else if (results[i].failed) {
       ++report.failed;
       ++report.ran;
+      registry.Add(obs::Counter::kSweepJobsFailed, 1);
+      registry.Add(obs::Counter::kSweepJobsRun, 1);
     } else {
       ++report.ran;
+      registry.Add(obs::Counter::kSweepJobsRun, 1);
     }
   }
   return report;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace benchtemp::robustness {
 
 Watchdog::~Watchdog() {
@@ -51,6 +53,7 @@ void Watchdog::Run() {
     // Deadline passed while still armed.
     armed_ = false;
     expired_.store(true, std::memory_order_relaxed);
+    obs::MetricRegistry::Global().Add(obs::Counter::kWatchdogFires, 1);
     std::function<void()> callback = std::move(on_expire_);
     on_expire_ = nullptr;
     if (callback) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "tensor/tensor.h"
 
 namespace benchtemp::runtime {
@@ -143,6 +144,11 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   grain = std::max<int64_t>(grain, 1);
   const int64_t range = end - begin;
   const int64_t num_chunks = (range + grain - 1) / grain;
+  // Chunking depends only on (range, grain), never on the worker count, so
+  // these counters stay bit-identical across BENCHTEMP_NUM_THREADS.
+  auto& registry = obs::MetricRegistry::Global();
+  registry.Add(obs::Counter::kParallelForCalls, 1);
+  registry.Add(obs::Counter::kParallelForChunks, num_chunks);
   ThreadPool::Global().Run(num_chunks, [&](int64_t chunk) {
     const int64_t chunk_begin = begin + chunk * grain;
     fn(chunk_begin, std::min<int64_t>(end, chunk_begin + grain));

@@ -1,0 +1,33 @@
+// Fixture for adhoc-timing: scattered clock reads that bypass the
+// observability layer. Expected findings: 3 (steady_clock::now,
+// high_resolution_clock::now, gettimeofday); the chrono duration
+// construction in Sleepy() must NOT fire.
+#include <chrono>
+#include <sys/time.h>
+#include <thread>
+
+namespace fixture {
+
+double WallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long TickNs() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+double PosixNow() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return static_cast<double>(tv.tv_sec) + 1e-6 * tv.tv_usec;
+}
+
+void Sleepy() {
+  // Durations are fine — only clock *reads* are ad-hoc timing.
+  // btlint: allow(adhoc-parallelism)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace fixture

@@ -1,5 +1,6 @@
 // Fixture: every rule from the clean-suppression angle — one violation per
 // rule, each silenced by a targeted allow comment. Expected finding count: 0.
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <thread>
@@ -46,6 +47,12 @@ int32_t NarrowAllowed(int64_t node_id) {
 int* NewAllowed() {
   // A wildcard allow also works.
   return new int(7);  // btlint: allow(*)
+}
+
+double TimingAllowed() {
+  const auto now =
+      std::chrono::steady_clock::now();  // btlint: allow(adhoc-timing)
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
 }
 
 }  // namespace fixture

@@ -46,9 +46,9 @@ std::multiset<std::string> RuleIds(const std::vector<Finding>& findings) {
   return ids;
 }
 
-TEST(BtlintCatalogTest, NineRulesWithUniqueIds) {
+TEST(BtlintCatalogTest, TenRulesWithUniqueIds) {
   const auto& rules = btlint::Rules();
-  EXPECT_EQ(rules.size(), 9u);
+  EXPECT_EQ(rules.size(), 10u);
   std::set<std::string> ids;
   for (const auto& r : rules) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
@@ -81,6 +81,26 @@ TEST(BtlintRuleTest, AdhocParallelismExemptsRuntimeAndTests) {
   const std::string source = ReadFixture("src/adhoc_parallelism.cc");
   EXPECT_TRUE(LintFile("src/runtime/pool_impl.cc", source).empty());
   EXPECT_TRUE(LintFile("tests/some_test.cc", source).empty());
+}
+
+TEST(BtlintRuleTest, AdhocTimingFires) {
+  const auto ids = RuleIds(LintFixture("src/adhoc_timing.cc"));
+  // steady_clock::now, high_resolution_clock::now, gettimeofday; the
+  // duration construction in Sleepy() stays silent.
+  EXPECT_EQ(ids.count("adhoc-timing"), 3u);
+}
+
+TEST(BtlintRuleTest, AdhocTimingExemptsObsWatchdogAndTests) {
+  const std::string source = ReadFixture("src/adhoc_timing.cc");
+  EXPECT_EQ(RuleIds(LintFile("src/obs/metrics.cc", source))
+                .count("adhoc-timing"),
+            0u);
+  EXPECT_EQ(RuleIds(LintFile("src/robustness/watchdog.cc", source))
+                .count("adhoc-timing"),
+            0u);
+  EXPECT_EQ(RuleIds(LintFile("tests/timing_test.cc", source))
+                .count("adhoc-timing"),
+            0u);
 }
 
 TEST(BtlintRuleTest, ParallelFloatReduceFiresOnlyOnSharedAccumulator) {

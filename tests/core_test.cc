@@ -327,8 +327,10 @@ TEST(EvaluatorTest, WeightedPrfMajorityBaseline) {
 TEST(EvaluatorTest, SummarizeMeanStd) {
   const MeanStd ms = Summarize({1.0, 2.0, 3.0});
   EXPECT_DOUBLE_EQ(ms.mean, 2.0);
-  EXPECT_NEAR(ms.std, std::sqrt(2.0 / 3.0), 1e-9);
+  // Sample (ddof=1) std, the numpy convention for the paper's 3-run tables.
+  EXPECT_NEAR(ms.std, 1.0, 1e-9);
   EXPECT_DOUBLE_EQ(Summarize({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(Summarize({4.2}).std, 0.0);
 }
 
 // ---------------------------------------------------------------------------

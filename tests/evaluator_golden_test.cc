@@ -1,0 +1,119 @@
+// Golden evaluator tests: every expected value below is hand-computed and
+// cross-checked against scikit-learn (roc_auc_score, average_precision_score,
+// precision_recall_fscore_support(average="weighted"), numpy std with
+// ddof=1), pinning the implementations to the conventions the paper's
+// tables assume.
+
+#include "core/evaluator.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace benchtemp::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RocAuc / AveragePrecision with tie groups.
+// ---------------------------------------------------------------------------
+
+// scores  = {0.8, 0.8, 0.6, 0.4, 0.4, 0.2}
+// labels  = {  1,   0,   1,   0,   1,   0}
+// Two tie groups (0.8 and 0.4) force the midrank path.
+//
+// Ascending midranks: 0.2 -> 1; {0.4, 0.4} -> 2.5; 0.6 -> 4; {0.8, 0.8} ->
+// 5.5. Positive rank sum = 2.5 + 4 + 5.5 = 12, U = 12 - 3*4/2 = 6, AUC =
+// 6 / (3*3) = 2/3 — sklearn.roc_auc_score agrees.
+TEST(EvaluatorGoldenTest, RocAucWithTieGroupsMatchesSklearn) {
+  const std::vector<double> scores = {0.8, 0.8, 0.6, 0.4, 0.4, 0.2};
+  const std::vector<int> labels = {1, 0, 1, 0, 1, 0};
+  EXPECT_NEAR(RocAuc(scores, labels), 2.0 / 3.0, 1e-12);
+}
+
+// Same data. Descending with ties collapsed to one threshold per distinct
+// score:
+//   after 0.8 group: tp=1, recall=1/3, precision=1/2 -> AP += 1/3 * 1/2
+//   after 0.6:       tp=2, recall=2/3, precision=2/3 -> AP += 1/3 * 2/3
+//   after 0.4 group: tp=3, recall=1,   precision=3/5 -> AP += 1/3 * 3/5
+//   after 0.2:       recall unchanged                -> AP += 0
+// AP = 1/6 + 2/9 + 1/5 = 53/90 — sklearn.average_precision_score agrees.
+TEST(EvaluatorGoldenTest, AveragePrecisionWithTieGroupsMatchesSklearn) {
+  const std::vector<double> scores = {0.8, 0.8, 0.6, 0.4, 0.4, 0.2};
+  const std::vector<int> labels = {1, 0, 1, 0, 1, 0};
+  EXPECT_NEAR(AveragePrecision(scores, labels), 53.0 / 90.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted precision/recall/F1 on an imbalanced 3-class fixture.
+// ---------------------------------------------------------------------------
+
+// actual    = {0,0,0,0,0,0, 1,1,1, 2}   (support 6 / 3 / 1)
+// predicted = {0,0,0,0,0,1, 0,1,1, 1}
+//
+// Per class: tp = {5, 2, 0}; precision = {5/6, 2/4, 0}; recall =
+// {5/6, 2/3, 0}; F1 = {5/6, 4/7, 0}. Support weights {0.6, 0.3, 0.1}.
+//
+//   weighted precision = 0.6*(5/6) + 0.3*0.5   = 0.65
+//   weighted recall    = 0.6*(5/6) + 0.3*(2/3) = 0.70
+//   weighted F1        = 0.6*(5/6) + 0.3*(4/7) = 47/70  (sklearn)
+//
+// The pre-fix composition — harmonic mean of the *aggregates* —
+// gives 2*0.65*0.70/1.35 = 91/135 != 47/70; the class-wise P/R imbalance of
+// class 1 is what separates the two.
+TEST(EvaluatorGoldenTest, WeightedPrfImbalancedMatchesSklearn) {
+  const std::vector<int> actual = {0, 0, 0, 0, 0, 0, 1, 1, 1, 2};
+  const std::vector<int> predicted = {0, 0, 0, 0, 0, 1, 0, 1, 1, 1};
+  const WeightedPrf prf = WeightedPrecisionRecallF1(predicted, actual, 3);
+  EXPECT_NEAR(prf.precision, 0.65, 1e-12);
+  EXPECT_NEAR(prf.recall, 0.70, 1e-12);
+  EXPECT_NEAR(prf.f1, 47.0 / 70.0, 1e-12);
+}
+
+TEST(EvaluatorGoldenTest, WeightedF1DiffersFromPreFixComposition) {
+  const std::vector<int> actual = {0, 0, 0, 0, 0, 0, 1, 1, 1, 2};
+  const std::vector<int> predicted = {0, 0, 0, 0, 0, 1, 0, 1, 1, 1};
+  const WeightedPrf prf = WeightedPrecisionRecallF1(predicted, actual, 3);
+  // The old formula computed F1 from the weighted aggregates.
+  const double pre_fix_f1 =
+      2.0 * prf.precision * prf.recall / (prf.precision + prf.recall);
+  EXPECT_NEAR(pre_fix_f1, 91.0 / 135.0, 1e-12);
+  // The two conventions measurably disagree on this fixture, demonstrating
+  // the bug the fix addresses.
+  EXPECT_GT(std::abs(prf.f1 - pre_fix_f1), 1e-3);
+}
+
+// A degenerate-precision class must not drag the whole score to zero: with
+// perfect predictions every per-class F1 is 1 and the weighted mean is 1.
+TEST(EvaluatorGoldenTest, WeightedPrfPerfectPredictionsScoreOne) {
+  const std::vector<int> actual = {0, 0, 0, 1, 2};
+  const WeightedPrf prf = WeightedPrecisionRecallF1(actual, actual, 3);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Summarize: sample (ddof=1) standard deviation.
+// ---------------------------------------------------------------------------
+
+TEST(EvaluatorGoldenTest, SummarizeUsesSampleStd) {
+  // numpy.std([1,2,3], ddof=1) == 1.0 (population std would be sqrt(2/3)).
+  const MeanStd three = Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(three.mean, 2.0);
+  EXPECT_NEAR(three.std, 1.0, 1e-12);
+
+  // numpy.std([1,3], ddof=1) == sqrt(2).
+  const MeanStd two = Summarize({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(two.mean, 2.0);
+  EXPECT_NEAR(two.std, std::sqrt(2.0), 1e-12);
+}
+
+TEST(EvaluatorGoldenTest, SummarizeSingleRunHasZeroStd) {
+  const MeanStd one = Summarize({0.875});
+  EXPECT_DOUBLE_EQ(one.mean, 0.875);
+  EXPECT_DOUBLE_EQ(one.std, 0.0);
+}
+
+}  // namespace
+}  // namespace benchtemp::core

@@ -1,0 +1,37 @@
+// bench_schema_check: validates BENCH_*.json / BENCHTEMP_METRICS exports
+// against the metrics schema (obs::ValidateMetricsJson). Exit 0 when every
+// file passes; exit 1 (with one line per problem) otherwise, so CI fails on
+// schema drift.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_schema_check <metrics.json>...\n");
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!benchtemp::obs::ValidateMetricsJson(buffer.str(), &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      ++failures;
+    } else {
+      std::printf("%s: ok\n", argv[i]);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

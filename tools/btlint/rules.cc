@@ -40,6 +40,9 @@ const std::vector<RuleInfo> kRules = {
      "raw new/delete (use value semantics, containers, smart pointers)"},
     {"missing-include-guard", "api",
      "header without #pragma once or an #ifndef include guard"},
+    {"adhoc-timing", "api",
+     "std::chrono clock reads outside src/obs and the watchdog (use "
+     "obs::NowSeconds / ScopedPhaseTimer)"},
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -590,6 +593,46 @@ void RuleIncludeGuard(const std::string& path, const LexedFile& f,
          "guard");
 }
 
+void RuleAdhocTiming(const std::string& path, const LexedFile& f,
+                     std::vector<Finding>* out) {
+  // Timing must flow through the observability layer so phase accounting
+  // stays complete; src/obs owns the clock and the watchdog needs the
+  // steady_clock deadline machinery for cv::wait_until.
+  if (!StartsWith(path, "src/") && !StartsWith(path, "bench/")) return;
+  if (StartsWith(path, "src/obs/") ||
+      StartsWith(path, "src/robustness/watchdog")) {
+    return;
+  }
+  const Tokens& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    // <clock>::now( — catches std::chrono::steady_clock::now() and friends.
+    if ((t == "steady_clock" || t == "system_clock" ||
+         t == "high_resolution_clock") &&
+        i + 3 < toks.size() && IsPunct(toks[i + 1], "::") &&
+        IsIdent(toks[i + 2], "now") && IsPunct(toks[i + 3], "(")) {
+      Report(out, path, toks[i], "adhoc-timing",
+             "std::chrono::" + t +
+                 "::now() outside the observability layer; read time via "
+                 "obs::NowSeconds() (or wrap the scope in a "
+                 "ScopedPhaseTimer) so measurements land in the registry");
+      continue;
+    }
+    // POSIX clock reads as free-function calls.
+    const bool member_access =
+        i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    const bool call = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+    if (!member_access && call &&
+        (t == "gettimeofday" || t == "clock_gettime")) {
+      Report(out, path, toks[i], "adhoc-timing",
+             "'" + t +
+                 "()' is an ad-hoc clock read; use obs::NowSeconds() so "
+                 "timing flows through the observability layer");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions.
 // ---------------------------------------------------------------------------
@@ -692,6 +735,7 @@ std::vector<Finding> LintFile(const std::string& path,
   RuleIdNarrowing(path, f, &findings);
   RuleRawNew(path, f, &findings);
   RuleIncludeGuard(path, f, &findings);
+  RuleAdhocTiming(path, f, &findings);
 
   const Suppressions s = CollectSuppressions(f);
   std::vector<Finding> kept;
