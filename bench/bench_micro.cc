@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "core/edge_sampler.h"
 #include "core/evaluator.h"
@@ -14,6 +17,7 @@
 #include "graph/neighbor_finder.h"
 #include "graph/walks.h"
 #include "tensor/autograd.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/modules.h"
 #include "tensor/numeric.h"
 
@@ -146,6 +150,100 @@ void BM_AttentionForward(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionForward);
 
+// ---------------------------------------------------------------------------
+// Kernel-layer microbenchmarks (BM_Kernel*; `--kernels` runs only these and
+// emits BENCH_kernels.json). GEMM shapes are the actual model projections:
+// 172 = Reddit edge-feature concat width, 100 = node-feature width, 64 =
+// embedding/attention width, at the default batch of 200 rows.
+// ---------------------------------------------------------------------------
+
+void BM_KernelGemm(benchmark::State& state) {
+  tensor::Rng rng(1);
+  const int64_t n = 200, k = state.range(0), m = 64;
+  const tensor::Tensor a = tensor::Tensor::Randn({n, k}, rng);
+  const tensor::Tensor b = tensor::Tensor::Randn({k, m}, rng);
+  tensor::Tensor c({n, m});
+  for (auto _ : state) {
+    c.Fill(0.0f);
+    tensor::kernels::Gemm(a.data(), b.data(), c.data(), n, k, m);
+    benchmark::DoNotOptimize(c.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * k * m);
+}
+BENCHMARK(BM_KernelGemm)->Arg(172)->Arg(100)->Arg(64);
+
+void BM_KernelGemmBackward(benchmark::State& state) {
+  // Both MatMul backward kernels at the attention-projection shape.
+  tensor::Rng rng(1);
+  const int64_t n = 200, k = state.range(0), m = 64;
+  const tensor::Tensor a = tensor::Tensor::Randn({n, k}, rng);
+  const tensor::Tensor b = tensor::Tensor::Randn({k, m}, rng);
+  const tensor::Tensor dc = tensor::Tensor::Randn({n, m}, rng);
+  tensor::Tensor da({n, k});
+  tensor::Tensor db({k, m});
+  for (auto _ : state) {
+    da.Fill(0.0f);
+    db.Fill(0.0f);
+    tensor::kernels::GemmNT(dc.data(), b.data(), da.data(), n, k, m);
+    tensor::kernels::GemmTN(a.data(), dc.data(), db.data(), n, k, m);
+    benchmark::DoNotOptimize(da.at(0));
+    benchmark::DoNotOptimize(db.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * k * m);
+}
+BENCHMARK(BM_KernelGemmBackward)->Arg(172)->Arg(100)->Arg(64);
+
+void BM_KernelSoftmaxRow(benchmark::State& state) {
+  // The attention-score row shape: batch of 200 rows over k=8 keys, plus a
+  // wider row for the vector path.
+  tensor::Rng rng(1);
+  const int64_t n = 200, d = state.range(0);
+  const tensor::Tensor in = tensor::Tensor::Randn({n, d}, rng);
+  const tensor::Tensor mask = tensor::Tensor::Ones({n, d});
+  tensor::Tensor out({n, d});
+  for (auto _ : state) {
+    for (int64_t r = 0; r < n; ++r) {
+      tensor::kernels::SoftmaxRow(in.data() + r * d, mask.data() + r * d, d,
+                                  out.data() + r * d);
+    }
+    benchmark::DoNotOptimize(out.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * d);
+}
+BENCHMARK(BM_KernelSoftmaxRow)->Arg(8)->Arg(64);
+
+void BM_KernelBce(benchmark::State& state) {
+  tensor::Rng rng(1);
+  const int64_t n = 400;  // pos+neg scores of one batch
+  const tensor::Tensor logits = tensor::Tensor::Randn({n}, rng);
+  tensor::Tensor targets({n});
+  for (int64_t i = 0; i < n; ++i) targets.at(i) = i % 2 == 0 ? 1.0f : 0.0f;
+  tensor::Tensor grad({n});
+  for (auto _ : state) {
+    const float loss =
+        tensor::kernels::BceForwardMean(logits.data(), targets.data(), n);
+    grad.Fill(0.0f);
+    tensor::kernels::BceBackward(grad.data(), logits.data(), targets.data(),
+                                 loss, n);
+    benchmark::DoNotOptimize(grad.at(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelBce);
+
+void BM_KernelReduceDot(benchmark::State& state) {
+  tensor::Rng rng(1);
+  const int64_t n = state.range(0);
+  const tensor::Tensor x = tensor::Tensor::Randn({n}, rng);
+  const tensor::Tensor y = tensor::Tensor::Randn({n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::kernels::ReduceSum(x.data(), n));
+    benchmark::DoNotOptimize(tensor::kernels::Dot(x.data(), y.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_KernelReduceDot)->Arg(64)->Arg(4096);
+
 void BM_RocAuc(benchmark::State& state) {
   tensor::Rng rng(1);
   const int64_t n = state.range(0);
@@ -177,9 +275,27 @@ BENCHMARK(BM_SyntheticGeneration)->Arg(2000);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchtemp::bench::BenchArtifact artifact("micro");
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // `--kernels` restricts the run to the kernel-layer benchmarks and emits
+  // the artifact as BENCH_kernels.json (the CI kernel-bench smoke leg).
+  bool kernels_only = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernels") == 0) {
+      kernels_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string filter = "--benchmark_filter=BM_Kernel";
+  if (kernels_only) args.push_back(filter.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchtemp::bench::BenchArtifact artifact(kernels_only ? "kernels"
+                                                        : "micro");
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

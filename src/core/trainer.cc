@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "robustness/checkpoint.h"
 #include "robustness/fault_injector.h"
+#include "tensor/kernels/arena.h"
 #include "tensor/optimizer.h"
 #include "tensor/serialize.h"
 
@@ -61,6 +62,8 @@ void ScorePass(TgnnModel* model, const TemporalGraph& graph,
   neg_scores->assign(events.size(), 0.0);
   size_t cursor = 0;
   for (const Batch& batch : MakeBatches(graph, events, batch_size)) {
+    // Declared first so every Var of this batch dies before the rewind.
+    tensor::kernels::TapeScope tape_scope;
     const std::vector<int32_t> negatives = sampler->SampleNegatives(batch.srcs);
     Var pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
     Var neg = model->ScoreEdges(batch.srcs, negatives, batch.ts);
@@ -103,6 +106,7 @@ SettingMetrics SubsetMetrics(const std::vector<int64_t>& events,
 void ReplayState(TgnnModel* model, const TemporalGraph& graph,
                  const std::vector<int64_t>& events, int batch_size) {
   for (const Batch& batch : MakeBatches(graph, events, batch_size)) {
+    tensor::kernels::TapeScope tape_scope;
     model->UpdateState(batch);
   }
 }
@@ -281,6 +285,10 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
     model->set_training(true);
     model->SetNeighborFinder(&train_finder);
     for (const Batch& batch : train_batches) {
+      // The tape scope is the first declaration in the loop body, so the
+      // batch's Vars (pos/neg/loss graph) are destroyed before the arena
+      // rewinds their storage.
+      tensor::kernels::TapeScope tape_scope;
       if (Canceled(tc)) {
         canceled = true;
         break;
@@ -568,6 +576,7 @@ NodeClassificationResult RunNodeClassification(
     model->set_training(true);
     model->SetNeighborFinder(&full_finder);
     for (const Batch& batch : train_batches) {
+      tensor::kernels::TapeScope tape_scope;
       if (Canceled(tc)) {
         result.annotation = "x";
         return result;
@@ -630,6 +639,7 @@ NodeClassificationResult RunNodeClassification(
       all_events[static_cast<size_t>(i)] = i;
     int64_t cursor = 0;
     for (const Batch& batch : MakeBatches(graph, all_events, tc.batch_size)) {
+      tensor::kernels::TapeScope tape_scope;
       Var emb = model->ComputeEmbeddings(batch.srcs, batch.ts);
       for (int64_t i = 0; i < batch.size(); ++i) {
         for (int64_t c = 0; c < d; ++c) {
@@ -690,6 +700,9 @@ NodeClassificationResult RunNodeClassification(
   // metrics so early stopping evaluates the peak — not the last — decoder.
   std::string best_decoder;
   for (int epoch = 0; epoch < job.decoder_epochs; ++epoch) {
+    // Scopes the decoder epoch's whole graph (loss and the validation
+    // passes below both live within one tape).
+    tensor::kernels::TapeScope tape_scope;
     if (Canceled(tc)) {
       result.annotation = "x";
       return result;

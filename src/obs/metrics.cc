@@ -18,7 +18,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "parallel_for.calls",   "parallel_for.chunks",  "nan.retries",
     "nan.rollbacks",        "watchdog.fires",       "checkpoint.writes",
     "checkpoint.bytes",     "sweep.jobs_run",       "sweep.jobs_replayed",
-    "sweep.jobs_failed",
+    "sweep.jobs_failed",    "kernels.flops",        "arena.bytes",
+    "arena.resets",
 };
 
 /// -1 = derive from the environment; 0/1 = forced by a test.

@@ -60,8 +60,11 @@ enum class Counter : int {
   kSweepJobsRun,        // sweep jobs executed this process
   kSweepJobsReplayed,   // sweep jobs replayed from a manifest
   kSweepJobsFailed,     // sweep jobs that degraded to FAILED rows
+  kKernelFlops,         // flops executed by src/tensor/kernels entry points
+  kArenaBytes,          // bytes bump-allocated from tape-scoped arenas
+  kArenaResets,         // TapeScope rewinds (one per completed batch scope)
 };
-inline constexpr int kNumCounters = 13;
+inline constexpr int kNumCounters = 16;
 
 /// Stable dotted name of a counter ("train.batches", ...).
 const char* CounterName(Counter counter);

@@ -1,0 +1,32 @@
+#ifndef BENCHTEMP_RUNTIME_GRAIN_H_
+#define BENCHTEMP_RUNTIME_GRAIN_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace benchtemp::runtime {
+
+// Chunk-size policy shared by the autograd ops and the kernel layer. The
+// grain feeds ParallelFor's static chunking, so it is part of the
+// determinism contract: it may depend on problem shape, never on thread
+// count or load.
+
+/// Elementwise kernels below this many entries run serially; pool dispatch
+/// overhead is not worth it for the small per-batch tensors.
+inline constexpr int64_t kElementwiseGrain = 1 << 13;
+
+/// Flop budget per row-blocked chunk (~64k flops keeps a chunk in the tens
+/// of microseconds on one core — large enough to amortize dispatch, small
+/// enough to balance ragged row costs).
+inline constexpr int64_t kChunkFlops = 1 << 16;
+
+/// Row-blocked chunk size targeting kChunkFlops per chunk; ranges whose
+/// total work fits one chunk run inline.
+inline int64_t RowGrain(int64_t flops_per_row) {
+  return std::max<int64_t>(1,
+                           kChunkFlops / std::max<int64_t>(flops_per_row, 1));
+}
+
+}  // namespace benchtemp::runtime
+
+#endif  // BENCHTEMP_RUNTIME_GRAIN_H_

@@ -4,38 +4,19 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "runtime/grain.h"
 #include "runtime/thread_pool.h"
 #include "tensor/debug_check.h"
+#include "tensor/kernels/arena.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/numeric.h"
 
 namespace benchtemp::tensor {
 
 namespace {
 
-/// Elementwise kernels below this many entries run serially; the dispatch
-/// overhead of the pool is not worth it for the small per-batch tensors.
-constexpr int64_t kElementwiseGrain = 1 << 13;
-
-/// Row-blocked chunk size targeting ~64k flops per chunk; ranges whose
-/// total work fits one chunk run inline. Chunking depends only on the
-/// per-row cost, never on the thread count (determinism contract).
-int64_t RowGrain(int64_t flops_per_row) {
-  constexpr int64_t kChunkFlops = 1 << 16;
-  return std::max<int64_t>(
-      1, kChunkFlops / std::max<int64_t>(flops_per_row, 1));
-}
-
-/// True when `b` can be row-broadcast across `a`: b is [1, d] or rank-1 [d]
-/// while a is [n, d].
-bool IsRowBroadcast(const Tensor& a, const Tensor& b) {
-  return b.size() == a.cols() && b.rows() <= 1;
-}
-
-/// True when `b` can be column-broadcast across `a`: b is [n, 1] or rank-1
-/// [n] while a is [n, d].
-bool IsColBroadcast(const Tensor& a, const Tensor& b) {
-  return b.size() == a.rows() && a.cols() > 1;
-}
+using runtime::kElementwiseGrain;
+using runtime::RowGrain;
 
 Var MakeNode(const char* op, Tensor value, std::vector<Var> parents,
              std::function<void(VarNode&)> backward_fn) {
@@ -75,10 +56,29 @@ void TopoSort(const Var& root, std::vector<VarNode*>& order) {
   }
 }
 
+/// True when `b` can be row-broadcast across `a`: b is [1, d] or rank-1 [d]
+/// while a is [n, d].
+bool IsRowBroadcast(const Tensor& a, const Tensor& b) {
+  return b.size() == a.cols() && b.rows() <= 1;
+}
+
+/// True when `b` can be column-broadcast across `a`: b is [n, 1] or rank-1
+/// [n] while a is [n, d].
+bool IsColBroadcast(const Tensor& a, const Tensor& b) {
+  return b.size() == a.rows() && a.cols() > 1;
+}
+
 }  // namespace
 
 Tensor& VarNode::EnsureGrad() {
-  if (grad.size() != value.size()) grad = Tensor(value.shape());
+  if (grad.size() != value.size()) {
+    // Interior grads die with the batch's tape, so they come from the
+    // tape-scoped arena. Leaf (parameter) grads are Adam trajectory state
+    // that survives across batches — and the checkpointer pre-allocates
+    // them on restore — so they must stay heap-backed.
+    grad = parents.empty() ? Tensor(value.shape())
+                           : kernels::NewTensor(value.shape());
+  }
   return grad;
 }
 
@@ -131,12 +131,14 @@ Var Add(const Var& a, const Var& b) {
   const Tensor& av = a->value;
   const Tensor& bv = b->value;
   if (av.SameShape(bv) || av.size() == bv.size()) {
-    Tensor out = av;
+    Tensor out = kernels::NewTensor(av.shape());
+    const float* ap = av.data();
     const float* bp = bv.data();
     float* op = out.data();
+    kernels::CountFlops(out.size());
     runtime::ParallelFor(0, out.size(), kElementwiseGrain,
                          [&](int64_t lo, int64_t hi) {
-                           for (int64_t i = lo; i < hi; ++i) op[i] += bp[i];
+                           kernels::AddOut(op + lo, ap + lo, bp + lo, hi - lo);
                          });
     return MakeNode("Add", std::move(out), {a, b}, [](VarNode& self) {
       for (int i = 0; i < 2; ++i) {
@@ -146,44 +148,48 @@ Var Add(const Var& a, const Var& b) {
         const float* sg = self.grad.data();
         runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
                              [&](int64_t lo, int64_t hi) {
-                               for (int64_t j = lo; j < hi; ++j)
-                                 gp[j] += sg[j];
+                               kernels::Add(gp + lo, sg + lo, hi - lo);
                              });
       }
     });
   }
   CheckOrDie(IsRowBroadcast(av, bv), "Add: incompatible shapes");
   const int64_t n = av.rows(), d = av.cols();
-  Tensor out = av;
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t c = 0; c < d; ++c) out.at(r * d + c) += bv.at(c);
+  Tensor out = kernels::NewTensor(av.shape());
+  {
+    const float* ap = av.data();
+    const float* bp = bv.data();
+    float* op = out.data();
+    for (int64_t r = 0; r < n; ++r) {
+      kernels::AddOut(op + r * d, ap + r * d, bp, d);
+    }
   }
   return MakeNode("Add", std::move(out), {a, b}, [n, d](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
-    if (pa.requires_grad) pa.EnsureGrad().AddInPlace(self.grad);
+    const float* sg = self.grad.data();
+    if (pa.requires_grad) {
+      kernels::Add(pa.EnsureGrad().data(), sg, self.grad.size());
+    }
     if (pb.requires_grad) {
-      Tensor& g = pb.EnsureGrad();
-      for (int64_t r = 0; r < n; ++r) {
-        for (int64_t c = 0; c < d; ++c) g.at(c) += self.grad.at(r * d + c);
-      }
+      // Column reduction over rows, in fixed ascending row order.
+      float* gb = pb.EnsureGrad().data();
+      for (int64_t r = 0; r < n; ++r) kernels::Add(gb, sg + r * d, d);
     }
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
   CheckOrDie(a->value.size() == b->value.size(), "Sub: shape mismatch");
-  Tensor out = a->value;
-  const float* bp = b->value.data();
-  for (int64_t i = 0; i < out.size(); ++i) out.at(i) -= bp[i];
+  Tensor out = kernels::NewTensor(a->value.shape());
+  kernels::SubOut(out.data(), a->value.data(), b->value.data(), out.size());
   return MakeNode("Sub", std::move(out), {a, b}, [](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
-    if (pa.requires_grad) pa.EnsureGrad().AddInPlace(self.grad);
-    if (pb.requires_grad) {
-      Tensor& g = pb.EnsureGrad();
-      for (int64_t i = 0; i < g.size(); ++i) g.at(i) -= self.grad.at(i);
-    }
+    const float* sg = self.grad.data();
+    const int64_t n = self.grad.size();
+    if (pa.requires_grad) kernels::Add(pa.EnsureGrad().data(), sg, n);
+    if (pb.requires_grad) kernels::Sub(pb.EnsureGrad().data(), sg, n);
   });
 }
 
@@ -191,12 +197,14 @@ Var Mul(const Var& a, const Var& b) {
   const Tensor& av = a->value;
   const Tensor& bv = b->value;
   if (av.size() == bv.size()) {
-    Tensor out = av;
+    Tensor out = kernels::NewTensor(av.shape());
+    const float* ap = av.data();
     const float* bp = bv.data();
     float* op = out.data();
+    kernels::CountFlops(out.size());
     runtime::ParallelFor(0, out.size(), kElementwiseGrain,
                          [&](int64_t lo, int64_t hi) {
-                           for (int64_t i = lo; i < hi; ++i) op[i] *= bp[i];
+                           kernels::MulOut(op + lo, ap + lo, bp + lo, hi - lo);
                          });
     return MakeNode("Mul", std::move(out), {a, b}, [](VarNode& self) {
       VarNode& pa = *self.parents[0];
@@ -207,8 +215,8 @@ Var Mul(const Var& a, const Var& b) {
         const float* other = pb.value.data();
         runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
                              [&](int64_t lo, int64_t hi) {
-                               for (int64_t i = lo; i < hi; ++i)
-                                 g[i] += sg[i] * other[i];
+                               kernels::MulAdd(g + lo, sg + lo, other + lo,
+                                               hi - lo);
                              });
       }
       if (pb.requires_grad) {
@@ -216,73 +224,92 @@ Var Mul(const Var& a, const Var& b) {
         const float* other = pa.value.data();
         runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
                              [&](int64_t lo, int64_t hi) {
-                               for (int64_t i = lo; i < hi; ++i)
-                                 g[i] += sg[i] * other[i];
+                               kernels::MulAdd(g + lo, sg + lo, other + lo,
+                                               hi - lo);
                              });
       }
     });
   }
   const int64_t n = av.rows(), d = av.cols();
   if (IsRowBroadcast(av, bv)) {
-    Tensor out = av;
-    for (int64_t r = 0; r < n; ++r)
-      for (int64_t c = 0; c < d; ++c) out.at(r * d + c) *= bv.at(c);
+    Tensor out = kernels::NewTensor(av.shape());
+    {
+      const float* ap = av.data();
+      const float* bp = bv.data();
+      float* op = out.data();
+      for (int64_t r = 0; r < n; ++r) {
+        kernels::MulOut(op + r * d, ap + r * d, bp, d);
+      }
+    }
     return MakeNode("Mul", std::move(out), {a, b}, [n, d](VarNode& self) {
       VarNode& pa = *self.parents[0];
       VarNode& pb = *self.parents[1];
+      const float* sg = self.grad.data();
       if (pa.requires_grad) {
-        Tensor& g = pa.EnsureGrad();
-        for (int64_t r = 0; r < n; ++r)
-          for (int64_t c = 0; c < d; ++c)
-            g.at(r * d + c) += self.grad.at(r * d + c) * pb.value.at(c);
+        float* g = pa.EnsureGrad().data();
+        const float* bp = pb.value.data();
+        for (int64_t r = 0; r < n; ++r) {
+          kernels::MulAdd(g + r * d, sg + r * d, bp, d);
+        }
       }
       if (pb.requires_grad) {
-        Tensor& g = pb.EnsureGrad();
-        for (int64_t r = 0; r < n; ++r)
-          for (int64_t c = 0; c < d; ++c)
-            g.at(c) += self.grad.at(r * d + c) * pa.value.at(r * d + c);
+        float* g = pb.EnsureGrad().data();
+        const float* ap = pa.value.data();
+        for (int64_t r = 0; r < n; ++r) {
+          kernels::MulAdd(g, sg + r * d, ap + r * d, d);
+        }
       }
     });
   }
   CheckOrDie(IsColBroadcast(av, bv), "Mul: incompatible shapes");
-  Tensor out = av;
-  for (int64_t r = 0; r < n; ++r)
-    for (int64_t c = 0; c < d; ++c) out.at(r * d + c) *= bv.at(r);
+  Tensor out = kernels::NewTensor(av.shape());
+  {
+    const float* ap = av.data();
+    const float* bp = bv.data();
+    float* op = out.data();
+    for (int64_t r = 0; r < n; ++r) {
+      kernels::ScaleOut(op + r * d, bp[r], ap + r * d, d);
+    }
+  }
   return MakeNode("Mul", std::move(out), {a, b}, [n, d](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
+    const float* sg = self.grad.data();
     if (pa.requires_grad) {
-      Tensor& g = pa.EnsureGrad();
-      for (int64_t r = 0; r < n; ++r)
-        for (int64_t c = 0; c < d; ++c)
-          g.at(r * d + c) += self.grad.at(r * d + c) * pb.value.at(r);
+      float* g = pa.EnsureGrad().data();
+      const float* bp = pb.value.data();
+      for (int64_t r = 0; r < n; ++r) {
+        kernels::Axpy(g + r * d, bp[r], sg + r * d, d);
+      }
     }
     if (pb.requires_grad) {
-      Tensor& g = pb.EnsureGrad();
-      for (int64_t r = 0; r < n; ++r)
-        for (int64_t c = 0; c < d; ++c)
-          g.at(r) += self.grad.at(r * d + c) * pa.value.at(r * d + c);
+      float* g = pb.EnsureGrad().data();
+      const float* ap = pa.value.data();
+      for (int64_t r = 0; r < n; ++r) {
+        g[r] += kernels::Dot(sg + r * d, ap + r * d, d);
+      }
     }
   });
 }
 
 Var ScalarMul(const Var& a, float s) {
-  Tensor out = a->value;
-  out.Scale(s);
+  Tensor out = kernels::NewTensor(a->value.shape());
+  kernels::ScaleOut(out.data(), s, a->value.data(), out.size());
   return MakeNode("ScalarMul", std::move(out), {a}, [s](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
-    for (int64_t i = 0; i < g.size(); ++i) g.at(i) += s * self.grad.at(i);
+    kernels::Axpy(p.EnsureGrad().data(), s, self.grad.data(),
+                  self.grad.size());
   });
 }
 
 Var ScalarAdd(const Var& a, float s) {
-  Tensor out = a->value;
-  for (int64_t i = 0; i < out.size(); ++i) out.at(i) += s;
+  Tensor out = kernels::NewTensor(a->value.shape());
+  kernels::AddScalarOut(out.data(), s, a->value.data(), out.size());
   return MakeNode("ScalarAdd", std::move(out), {a}, [](VarNode& self) {
     VarNode& p = *self.parents[0];
-    if (p.requires_grad) p.EnsureGrad().AddInPlace(self.grad);
+    if (!p.requires_grad) return;
+    kernels::Add(p.EnsureGrad().data(), self.grad.data(), self.grad.size());
   });
 }
 
@@ -296,62 +323,23 @@ Var MatMul(const Var& a, const Var& b) {
   CheckOrDie(av.rank() == 2 && bv.rank() == 2, "MatMul: rank-2 required");
   const int64_t n = av.shape()[0], k = av.shape()[1], m = bv.shape()[1];
   CheckOrDie(bv.shape()[0] == k, "MatMul: inner dimension mismatch");
-  Tensor out({n, m});
-  const float* ap = av.data();
-  const float* bp = bv.data();
-  float* op = out.data();
-  // Row-blocked over the output: each chunk owns rows [i0, i1) of `out`, so
-  // writes are disjoint and results are thread-count independent.
-  runtime::ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        const float aval = ap[i * k + p];
-        if (IsExactlyZero(aval)) continue;
-        const float* brow = bp + p * m;
-        float* orow = op + i * m;
-        for (int64_t j = 0; j < m; ++j) orow[j] += aval * brow[j];
-      }
-    }
-  });
+  Tensor out = kernels::NewTensor({n, m});
+  // Cache-blocked, register-tiled GEMM; row-blocked over the output via
+  // the shared RowGrain policy, so writes are disjoint per chunk and
+  // results are thread-count independent.
+  kernels::Gemm(av.data(), bv.data(), out.data(), n, k, m);
   return MakeNode("MatMul", std::move(out), {a, b}, [n, k, m](VarNode& self) {
     VarNode& pa = *self.parents[0];
     VarNode& pb = *self.parents[1];
     const float* gp = self.grad.data();
     if (pa.requires_grad) {
       // dA = dOut * B^T; chunks own disjoint row blocks of dA.
-      Tensor& ga = pa.EnsureGrad();
-      const float* bp = pb.value.data();
-      float* gap = ga.data();
-      runtime::ParallelFor(0, n, RowGrain(k * m), [&](int64_t i0, int64_t i1) {
-        for (int64_t i = i0; i < i1; ++i) {
-          for (int64_t j = 0; j < m; ++j) {
-            const float gval = gp[i * m + j];
-            if (IsExactlyZero(gval)) continue;
-            for (int64_t p = 0; p < k; ++p)
-              gap[i * k + p] += gval * bp[p * m + j];
-          }
-        }
-      });
+      kernels::GemmNT(gp, pb.value.data(), pa.EnsureGrad().data(), n, k, m);
     }
     if (pb.requires_grad) {
-      // dB = A^T * dOut; blocked over rows of dB (the k dimension) so each
-      // chunk accumulates its rows over i in a fixed serial order —
-      // bit-identical at any thread count.
-      Tensor& gb = pb.EnsureGrad();
-      const float* ap = pa.value.data();
-      float* gbp = gb.data();
-      runtime::ParallelFor(0, k, RowGrain(n * m), [&](int64_t p0, int64_t p1) {
-        for (int64_t i = 0; i < n; ++i) {
-          const float* arow = ap + i * k;
-          const float* grow = gp + i * m;
-          for (int64_t p = p0; p < p1; ++p) {
-            const float aval = arow[p];
-            if (IsExactlyZero(aval)) continue;
-            float* gbrow = gbp + p * m;
-            for (int64_t j = 0; j < m; ++j) gbrow[j] += aval * grow[j];
-          }
-        }
-      });
+      // dB = A^T * dOut; blocked over rows of dB (the k dimension), each
+      // accumulating over samples in a fixed serial order.
+      kernels::GemmTN(pa.value.data(), gp, pb.EnsureGrad().data(), n, k, m);
     }
   });
 }
@@ -360,15 +348,20 @@ Var Transpose(const Var& a) {
   const Tensor& av = a->value;
   CheckOrDie(av.rank() == 2, "Transpose: rank-2 required");
   const int64_t n = av.shape()[0], m = av.shape()[1];
-  Tensor out({m, n});
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < m; ++j) out.at(j, i) = av.at(i, j);
+  Tensor out = kernels::NewTensor({m, n});
+  {
+    const float* ap = av.data();
+    float* op = out.data();
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < m; ++j) op[j * n + i] = ap[i * m + j];
+  }
   return MakeNode("Transpose", std::move(out), {a}, [n, m](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
+    float* g = p.EnsureGrad().data();
+    const float* sg = self.grad.data();
     for (int64_t i = 0; i < n; ++i)
-      for (int64_t j = 0; j < m; ++j) g.at(i, j) += self.grad.at(j, i);
+      for (int64_t j = 0; j < m; ++j) g[i * m + j] += sg[j * n + i];
   });
 }
 
@@ -380,30 +373,32 @@ Var ConcatCols(const std::vector<Var>& parts) {
     CheckOrDie(p->value.rows() == n, "ConcatCols: row count mismatch");
     total += p->value.cols();
   }
-  Tensor out({n, total});
+  Tensor out = kernels::NewTensor({n, total});
   int64_t offset = 0;
   std::vector<int64_t> widths;
   for (const Var& p : parts) {
     const int64_t w = p->value.cols();
     widths.push_back(w);
-    for (int64_t r = 0; r < n; ++r)
-      for (int64_t c = 0; c < w; ++c)
-        out.at(r, offset + c) = p->value.at(r * w + c);
+    const float* pp = p->value.data();
+    float* op = out.data();
+    for (int64_t r = 0; r < n; ++r) {
+      kernels::Set(op + r * total + offset, pp + r * w, w);
+    }
     offset += w;
   }
   std::vector<Var> parents(parts.begin(), parts.end());
   return MakeNode("ConcatCols", std::move(out), std::move(parents),
                   [n, total, widths](VarNode& self) {
                     int64_t offset = 0;
+                    const float* sg = self.grad.data();
                     for (size_t i = 0; i < self.parents.size(); ++i) {
                       VarNode& p = *self.parents[i];
                       const int64_t w = widths[i];
                       if (p.requires_grad) {
-                        Tensor& g = p.EnsureGrad();
-                        for (int64_t r = 0; r < n; ++r)
-                          for (int64_t c = 0; c < w; ++c)
-                            g.at(r * w + c) +=
-                                self.grad.at(r * total + offset + c);
+                        float* g = p.EnsureGrad().data();
+                        for (int64_t r = 0; r < n; ++r) {
+                          kernels::Add(g + r * w, sg + r * total + offset, w);
+                        }
                       }
                       offset += w;
                     }
@@ -418,27 +413,26 @@ Var ConcatRows(const std::vector<Var>& parts) {
     CheckOrDie(p->value.cols() == d, "ConcatRows: column count mismatch");
     total += p->value.rows();
   }
-  Tensor out({total, d});
+  Tensor out = kernels::NewTensor({total, d});
   int64_t offset = 0;
   std::vector<int64_t> heights;
   for (const Var& p : parts) {
     const int64_t h = p->value.rows();
     heights.push_back(h);
-    for (int64_t i = 0; i < h * d; ++i)
-      out.at(offset * d + i) = p->value.at(i);
+    kernels::Set(out.data() + offset * d, p->value.data(), h * d);
     offset += h;
   }
   std::vector<Var> parents(parts.begin(), parts.end());
   return MakeNode("ConcatRows", std::move(out), std::move(parents),
                   [d, heights](VarNode& self) {
                     int64_t offset = 0;
+                    const float* sg = self.grad.data();
                     for (size_t i = 0; i < self.parents.size(); ++i) {
                       VarNode& p = *self.parents[i];
                       const int64_t h = heights[i];
                       if (p.requires_grad) {
-                        Tensor& g = p.EnsureGrad();
-                        for (int64_t j = 0; j < h * d; ++j)
-                          g.at(j) += self.grad.at(offset * d + j);
+                        kernels::Add(p.EnsureGrad().data(), sg + offset * d,
+                                     h * d);
                       }
                       offset += h;
                     }
@@ -450,17 +444,24 @@ Var SliceCols(const Var& a, int64_t start, int64_t len) {
   CheckOrDie(av.rank() == 2, "SliceCols: rank-2 required");
   const int64_t n = av.shape()[0], d = av.shape()[1];
   CheckOrDie(start >= 0 && start + len <= d, "SliceCols: out of range");
-  Tensor out({n, len});
-  for (int64_t r = 0; r < n; ++r)
-    for (int64_t c = 0; c < len; ++c) out.at(r, c) = av.at(r, start + c);
-  return MakeNode("SliceCols", std::move(out), {a}, [n, d, start, len](VarNode& self) {
-    VarNode& p = *self.parents[0];
-    if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
-    for (int64_t r = 0; r < n; ++r)
-      for (int64_t c = 0; c < len; ++c)
-        g.at(r * d + start + c) += self.grad.at(r * len + c);
-  });
+  Tensor out = kernels::NewTensor({n, len});
+  {
+    const float* ap = av.data();
+    float* op = out.data();
+    for (int64_t r = 0; r < n; ++r) {
+      kernels::Set(op + r * len, ap + r * d + start, len);
+    }
+  }
+  return MakeNode("SliceCols", std::move(out), {a},
+                  [n, d, start, len](VarNode& self) {
+                    VarNode& p = *self.parents[0];
+                    if (!p.requires_grad) return;
+                    float* g = p.EnsureGrad().data();
+                    const float* sg = self.grad.data();
+                    for (int64_t r = 0; r < n; ++r) {
+                      kernels::Add(g + r * d + start, sg + r * len, len);
+                    }
+                  });
 }
 
 Var SliceRows(const Var& a, int64_t start, int64_t len) {
@@ -469,29 +470,27 @@ Var SliceRows(const Var& a, int64_t start, int64_t len) {
   const int64_t d = av.shape()[1];
   CheckOrDie(start >= 0 && start + len <= av.shape()[0],
              "SliceRows: out of range");
-  Tensor out({len, d});
-  for (int64_t i = 0; i < len * d; ++i) out.at(i) = av.at(start * d + i);
-  return MakeNode("SliceRows", std::move(out), {a}, [d, start, len](VarNode& self) {
-    VarNode& p = *self.parents[0];
-    if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
-    for (int64_t i = 0; i < len * d; ++i)
-      g.at(start * d + i) += self.grad.at(i);
-  });
+  Tensor out = kernels::NewTensor({len, d});
+  kernels::Set(out.data(), av.data() + start * d, len * d);
+  return MakeNode("SliceRows", std::move(out), {a},
+                  [d, start, len](VarNode& self) {
+                    VarNode& p = *self.parents[0];
+                    if (!p.requires_grad) return;
+                    kernels::Add(p.EnsureGrad().data() + start * d,
+                                 self.grad.data(), len * d);
+                  });
 }
 
 Var Reshape(const Var& a, std::vector<int64_t> shape) {
   int64_t volume = 1;
   for (int64_t s : shape) volume *= s;
   CheckOrDie(volume == a->value.size(), "Reshape: volume mismatch");
-  Tensor out = a->value;
-  std::vector<float> payload(out.data(), out.data() + out.size());
-  Tensor reshaped = Tensor::FromVector(std::move(shape), std::move(payload));
-  return MakeNode("Reshape", std::move(reshaped), {a}, [](VarNode& self) {
+  Tensor out = kernels::NewTensor(std::move(shape));
+  kernels::Set(out.data(), a->value.data(), out.size());
+  return MakeNode("Reshape", std::move(out), {a}, [](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
-    for (int64_t i = 0; i < g.size(); ++i) g.at(i) += self.grad.at(i);
+    kernels::Add(p.EnsureGrad().data(), self.grad.data(), self.grad.size());
   });
 }
 
@@ -500,22 +499,29 @@ Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
   CheckOrDie(tv.rank() == 2, "GatherRows: rank-2 table required");
   const int64_t d = tv.shape()[1];
   const int64_t n = static_cast<int64_t>(indices.size());
-  Tensor out({n, d});
-  for (int64_t r = 0; r < n; ++r) {
-    const int64_t idx = indices[static_cast<size_t>(r)];
-    CheckOrDie(idx >= 0 && idx < tv.shape()[0], "GatherRows: index range");
-    for (int64_t c = 0; c < d; ++c) out.at(r, c) = tv.at(idx, c);
-  }
-  return MakeNode("GatherRows", std::move(out), {table}, [indices, d, n](VarNode& self) {
-    VarNode& p = *self.parents[0];
-    if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
+  Tensor out = kernels::NewTensor({n, d});
+  {
+    const float* tp = tv.data();
+    float* op = out.data();
     for (int64_t r = 0; r < n; ++r) {
       const int64_t idx = indices[static_cast<size_t>(r)];
-      for (int64_t c = 0; c < d; ++c)
-        g.at(idx * d + c) += self.grad.at(r * d + c);
+      CheckOrDie(idx >= 0 && idx < tv.shape()[0], "GatherRows: index range");
+      kernels::Set(op + r * d, tp + idx * d, d);
     }
-  });
+  }
+  return MakeNode("GatherRows", std::move(out), {table},
+                  [indices, d, n](VarNode& self) {
+                    VarNode& p = *self.parents[0];
+                    if (!p.requires_grad) return;
+                    // Scatter-add; duplicate indices accumulate in fixed
+                    // ascending r order.
+                    float* g = p.EnsureGrad().data();
+                    const float* sg = self.grad.data();
+                    for (int64_t r = 0; r < n; ++r) {
+                      const int64_t idx = indices[static_cast<size_t>(r)];
+                      kernels::Add(g + idx * d, sg + r * d, d);
+                    }
+                  });
 }
 
 // ---------------------------------------------------------------------------
@@ -525,14 +531,17 @@ Var GatherRows(const Var& table, const std::vector<int64_t>& indices) {
 namespace {
 
 /// Shared scaffold for elementwise unary ops: `fwd` computes the output
-/// entry, `bwd(out, in)` the local derivative.
+/// entry, `bwd(out, in)` the local derivative. (Sigmoid has a dedicated
+/// kernel below; the rest are libm-bound, so a generic scalar loop costs
+/// nothing extra.)
 template <typename Fwd, typename Bwd>
 Var Unary(const char* op_name, const Var& a, Fwd fwd, Bwd bwd) {
-  Tensor out = a->value;
+  Tensor out = kernels::NewTensor(a->value.shape());
+  const float* ap = a->value.data();
   float* op = out.data();
   runtime::ParallelFor(0, out.size(), kElementwiseGrain,
                        [&](int64_t lo, int64_t hi) {
-                         for (int64_t i = lo; i < hi; ++i) op[i] = fwd(op[i]);
+                         for (int64_t i = lo; i < hi; ++i) op[i] = fwd(ap[i]);
                        });
   return MakeNode(op_name, std::move(out), {a}, [bwd](VarNode& self) {
     VarNode& p = *self.parents[0];
@@ -552,13 +561,26 @@ Var Unary(const char* op_name, const Var& a, Fwd fwd, Bwd bwd) {
 }  // namespace
 
 Var Sigmoid(const Var& a) {
-  return Unary(
-      "Sigmoid", a,
-      [](float x) {
-        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                         : std::exp(x) / (1.0f + std::exp(x));
-      },
-      [](float out, float) { return out * (1.0f - out); });
+  Tensor out = kernels::NewTensor(a->value.shape());
+  const float* ap = a->value.data();
+  float* op = out.data();
+  kernels::CountFlops(4 * out.size());
+  runtime::ParallelFor(0, out.size(), kElementwiseGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         kernels::SigmoidForward(ap + lo, op + lo, hi - lo);
+                       });
+  return MakeNode("Sigmoid", std::move(out), {a}, [](VarNode& self) {
+    VarNode& p = *self.parents[0];
+    if (!p.requires_grad) return;
+    float* g = p.EnsureGrad().data();
+    const float* sg = self.grad.data();
+    const float* sv = self.value.data();
+    runtime::ParallelFor(0, self.grad.size(), kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           kernels::SigmoidBackward(g + lo, sg + lo, sv + lo,
+                                                    hi - lo);
+                         });
+  });
 }
 
 Var Tanh(const Var& a) {
@@ -591,16 +613,14 @@ Var Sin(const Var& a) {
 // ---------------------------------------------------------------------------
 
 Var Sum(const Var& a) {
-  float total = 0.0f;
-  for (int64_t i = 0; i < a->value.size(); ++i) total += a->value.at(i);
-  Tensor out({1});
-  out.at(0) = total;
+  kernels::CountFlops(a->value.size());
+  Tensor out = kernels::NewTensor({1});
+  out.at(0) = kernels::ReduceSum(a->value.data(), a->value.size());
   return MakeNode("Sum", std::move(out), {a}, [](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
-    const float seed = self.grad.at(0);
-    for (int64_t i = 0; i < g.size(); ++i) g.at(i) += seed;
+    kernels::AddScalar(g.data(), self.grad.at(0), g.size());
   });
 }
 
@@ -615,46 +635,24 @@ Var MeanRows(const Var& a) {
   CheckOrDie(av.rank() == 2, "MeanRows: rank-2 required");
   const int64_t n = av.shape()[0], d = av.shape()[1];
   CheckOrDie(n > 0, "MeanRows: empty tensor");
-  Tensor out({1, d});
-  for (int64_t r = 0; r < n; ++r)
-    for (int64_t c = 0; c < d; ++c) out.at(c) += av.at(r, c);
+  Tensor out = kernels::NewTensor({1, d});
   const float inv = 1.0f / static_cast<float>(n);
-  out.Scale(inv);
+  {
+    float* op = out.data();
+    const float* ap = av.data();
+    for (int64_t r = 0; r < n; ++r) kernels::Add(op, ap + r * d, d);
+    kernels::Scale(op, inv, d);
+  }
   return MakeNode("MeanRows", std::move(out), {a}, [n, d, inv](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
-    for (int64_t r = 0; r < n; ++r)
-      for (int64_t c = 0; c < d; ++c)
-        g.at(r * d + c) += inv * self.grad.at(c);
+    float* g = p.EnsureGrad().data();
+    const float* sg = self.grad.data();
+    for (int64_t r = 0; r < n; ++r) kernels::Axpy(g + r * d, inv, sg, d);
   });
 }
 
 namespace {
-
-void SoftmaxRow(const float* in, const float* mask, int64_t d, float* out) {
-  float max_val = -1e30f;
-  bool any = false;
-  for (int64_t c = 0; c < d; ++c) {
-    if (mask != nullptr && IsExactlyZero(mask[c])) continue;
-    any = true;
-    max_val = std::max(max_val, in[c]);
-  }
-  if (!any) {
-    for (int64_t c = 0; c < d; ++c) out[c] = 0.0f;
-    return;
-  }
-  float total = 0.0f;
-  for (int64_t c = 0; c < d; ++c) {
-    if (mask != nullptr && IsExactlyZero(mask[c])) {
-      out[c] = 0.0f;
-      continue;
-    }
-    out[c] = std::exp(in[c] - max_val);
-    total += out[c];
-  }
-  for (int64_t c = 0; c < d; ++c) out[c] /= total;
-}
 
 Var SoftmaxImpl(const Var& a, const Tensor* mask) {
   const Tensor& av = a->value;
@@ -663,28 +661,32 @@ Var SoftmaxImpl(const Var& a, const Tensor* mask) {
   if (mask != nullptr) {
     CheckOrDie(mask->size() == n * d, "MaskedSoftmaxRows: mask size");
   }
-  Tensor out({n, d});
+  Tensor out = kernels::NewTensor({n, d});
+  const float* ap = av.data();
   const float* mp = mask != nullptr ? mask->data() : nullptr;
+  float* op = out.data();
+  kernels::CountFlops(4 * n * d);
   runtime::ParallelFor(0, n, RowGrain(4 * d), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      SoftmaxRow(av.data() + r * d, mp != nullptr ? mp + r * d : nullptr, d,
-                 out.data() + r * d);
+      kernels::SoftmaxRow(ap + r * d, mp != nullptr ? mp + r * d : nullptr, d,
+                          op + r * d);
     }
   });
   return MakeNode("SoftmaxRows", std::move(out), {a}, [n, d](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
+    float* gp = p.EnsureGrad().data();
+    const float* sv = self.value.data();
+    const float* sgp = self.grad.data();
     // dx = s * (g - dot(g, s)) per row; masked entries have s == 0 so they
     // receive no gradient automatically. Rows are independent, so the
     // row-blocked parallel loop writes disjoint gradient slices.
     runtime::ParallelFor(0, n, RowGrain(4 * d), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
-        const float* s = self.value.data() + r * d;
-        const float* go = self.grad.data() + r * d;
-        float dot = 0.0f;
-        for (int64_t c = 0; c < d; ++c) dot += go[c] * s[c];
-        float* gi = g.data() + r * d;
+        const float* s = sv + r * d;
+        const float* go = sgp + r * d;
+        const float dot = kernels::Dot(go, s, d);
+        float* gi = gp + r * d;
         for (int64_t c = 0; c < d; ++c) gi[c] += s[c] * (go[c] - dot);
       }
     });
@@ -704,30 +706,18 @@ Var BceWithLogits(const Var& logits, const Tensor& targets) {
   CheckOrDie(lv.size() == targets.size(), "BceWithLogits: size mismatch");
   const int64_t n = lv.size();
   CheckOrDie(n > 0, "BceWithLogits: empty input");
-  float total = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    const float x = lv.at(i), y = targets.at(i);
-    // log(1 + exp(x)) computed stably.
-    const float softplus =
-        x > 0.0f ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
-    total += softplus - x * y;
-  }
-  Tensor out({1});
-  out.at(0) = total / static_cast<float>(n);
+  kernels::CountFlops(8 * n);
+  Tensor out = kernels::NewTensor({1});
+  out.at(0) = kernels::BceForwardMean(lv.data(), targets.data(), n);
   Tensor saved_targets = targets;
   return MakeNode("BceWithLogits", std::move(out), {logits},
                   [n, saved_targets](VarNode& self) {
                     VarNode& p = *self.parents[0];
                     if (!p.requires_grad) return;
-                    Tensor& g = p.EnsureGrad();
                     const float seed = self.grad.at(0) / static_cast<float>(n);
-                    for (int64_t i = 0; i < n; ++i) {
-                      const float x = p.value.at(i);
-                      const float sig =
-                          x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                                    : std::exp(x) / (1.0f + std::exp(x));
-                      g.at(i) += seed * (sig - saved_targets.at(i));
-                    }
+                    kernels::BceBackward(p.EnsureGrad().data(),
+                                         p.value.data(), saved_targets.data(),
+                                         seed, n);
                   });
 }
 
@@ -738,32 +728,35 @@ Var SoftmaxCrossEntropy(const Var& logits,
   const int64_t n = lv.shape()[0], c_dim = lv.shape()[1];
   CheckOrDie(static_cast<int64_t>(labels.size()) == n,
              "SoftmaxCrossEntropy: label count");
+  // `probs` is captured by the backward closure, so it must be heap-backed
+  // (a plain Tensor), never arena storage.
   Tensor probs({n, c_dim});
-  for (int64_t r = 0; r < n; ++r)
-    SoftmaxRow(lv.data() + r * c_dim, nullptr, c_dim, probs.data() + r * c_dim);
+  for (int64_t r = 0; r < n; ++r) {
+    kernels::SoftmaxRow(lv.data() + r * c_dim, nullptr, c_dim,
+                        probs.data() + r * c_dim);
+  }
   float total = 0.0f;
   for (int64_t r = 0; r < n; ++r) {
     const int64_t y = labels[static_cast<size_t>(r)];
     CheckOrDie(y >= 0 && y < c_dim, "SoftmaxCrossEntropy: label range");
     total -= std::log(std::max(probs.at(r, y), 1e-12f));
   }
-  Tensor out({1});
+  Tensor out = kernels::NewTensor({1});
   out.at(0) = total / static_cast<float>(n);
-  return MakeNode("SoftmaxCrossEntropy", 
-      std::move(out), {logits},
+  return MakeNode(
+      "SoftmaxCrossEntropy", std::move(out), {logits},
       [n, c_dim, labels, probs](VarNode& self) {
         VarNode& p = *self.parents[0];
         if (!p.requires_grad) return;
-        Tensor& g = p.EnsureGrad();
+        float* g = p.EnsureGrad().data();
+        const float* pp = probs.data();
         const float seed = self.grad.at(0) / static_cast<float>(n);
         for (int64_t r = 0; r < n; ++r) {
           const int64_t y = labels[static_cast<size_t>(r)];
-          for (int64_t c = 0; c < c_dim; ++c) {
-            // An integer compare (class index vs label), not a float one.
-            // btlint: allow(float-equality)
-            const float delta = c == y ? 1.0f : 0.0f;
-            g.at(r * c_dim + c) += seed * (probs.at(r, c) - delta);
-          }
+          float* grow = g + r * c_dim;
+          const float* prow = pp + r * c_dim;
+          kernels::Axpy(grow, seed, prow, c_dim);
+          grow[y] -= seed;
         }
       });
 }
@@ -771,21 +764,24 @@ Var SoftmaxCrossEntropy(const Var& logits,
 Var MseLoss(const Var& pred, const Tensor& target) {
   CheckOrDie(pred->value.size() == target.size(), "MseLoss: size mismatch");
   const int64_t n = pred->value.size();
+  const float* pp = pred->value.data();
+  const float* tp = target.data();
   float total = 0.0f;
   for (int64_t i = 0; i < n; ++i) {
-    const float diff = pred->value.at(i) - target.at(i);
+    const float diff = pp[i] - tp[i];
     total += diff * diff;
   }
-  Tensor out({1});
+  Tensor out = kernels::NewTensor({1});
   out.at(0) = total / static_cast<float>(n);
   Tensor saved = target;
   return MakeNode("MseLoss", std::move(out), {pred}, [n, saved](VarNode& self) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
-    Tensor& g = p.EnsureGrad();
+    float* g = p.EnsureGrad().data();
+    const float* pv = p.value.data();
+    const float* tv = saved.data();
     const float seed = self.grad.at(0) * 2.0f / static_cast<float>(n);
-    for (int64_t i = 0; i < n; ++i)
-      g.at(i) += seed * (p.value.at(i) - saved.at(i));
+    for (int64_t i = 0; i < n; ++i) g[i] += seed * (pv[i] - tv[i]);
   });
 }
 
@@ -800,43 +796,46 @@ Var BatchDot(const Var& q, const Var& k_block, int64_t num_keys) {
   const int64_t b = qv.shape()[0], d = qv.shape()[1];
   CheckOrDie(kv.shape()[0] == b * num_keys && kv.shape()[1] == d,
              "BatchDot: key block shape");
-  Tensor out({b, num_keys});
-  runtime::ParallelFor(
-      0, b, RowGrain(num_keys * d), [&](int64_t b0, int64_t b1) {
-        for (int64_t i = b0; i < b1; ++i) {
-          const float* qrow = qv.data() + i * d;
-          for (int64_t k = 0; k < num_keys; ++k) {
-            const float* krow = kv.data() + (i * num_keys + k) * d;
-            float dot = 0.0f;
-            for (int64_t c = 0; c < d; ++c) dot += qrow[c] * krow[c];
-            out.at(i, k) = dot;
+  Tensor out = kernels::NewTensor({b, num_keys});
+  {
+    const float* qp = qv.data();
+    const float* kp = kv.data();
+    float* op = out.data();
+    kernels::CountFlops(2 * b * num_keys * d);
+    runtime::ParallelFor(
+        0, b, RowGrain(num_keys * d), [&](int64_t b0, int64_t b1) {
+          for (int64_t i = b0; i < b1; ++i) {
+            const float* qrow = qp + i * d;
+            for (int64_t k = 0; k < num_keys; ++k) {
+              op[i * num_keys + k] =
+                  kernels::Dot(qrow, kp + (i * num_keys + k) * d, d);
+            }
           }
-        }
-      });
-  return MakeNode("BatchDot", 
-      std::move(out), {q, k_block}, [b, d, num_keys](VarNode& self) {
+        });
+  }
+  return MakeNode(
+      "BatchDot", std::move(out), {q, k_block}, [b, d, num_keys](VarNode& self) {
         VarNode& pq = *self.parents[0];
         VarNode& pk = *self.parents[1];
-        if (pq.requires_grad) pq.EnsureGrad();
-        if (pk.requires_grad) pk.EnsureGrad();
+        float* gq = pq.requires_grad ? pq.EnsureGrad().data() : nullptr;
+        float* gk = pk.requires_grad ? pk.EnsureGrad().data() : nullptr;
+        const float* sg = self.grad.data();
+        const float* qp = pq.value.data();
+        const float* kp = pk.value.data();
         // Both gradients are blocked by batch row i: gq row i and gk rows
         // [i*num_keys, (i+1)*num_keys) belong to exactly one chunk.
         runtime::ParallelFor(
             0, b, RowGrain(2 * num_keys * d), [&](int64_t b0, int64_t b1) {
               for (int64_t i = b0; i < b1; ++i) {
                 for (int64_t k = 0; k < num_keys; ++k) {
-                  const float gval = self.grad.at(i * num_keys + k);
+                  const float gval = sg[i * num_keys + k];
                   if (IsExactlyZero(gval)) continue;
                   const int64_t krow = (i * num_keys + k) * d;
-                  if (pq.requires_grad) {
-                    Tensor& gq = pq.grad;
-                    for (int64_t c = 0; c < d; ++c)
-                      gq.at(i * d + c) += gval * pk.value.at(krow + c);
+                  if (gq != nullptr) {
+                    kernels::Axpy(gq + i * d, gval, kp + krow, d);
                   }
-                  if (pk.requires_grad) {
-                    Tensor& gk = pk.grad;
-                    for (int64_t c = 0; c < d; ++c)
-                      gk.at(krow + c) += gval * pq.value.at(i * d + c);
+                  if (gk != nullptr) {
+                    kernels::Axpy(gk + krow, gval, qp + i * d, d);
                   }
                 }
               }
@@ -853,45 +852,50 @@ Var BatchWeightedSum(const Var& w, const Var& v_block, int64_t num_keys) {
   CheckOrDie(wv.shape()[1] == num_keys, "BatchWeightedSum: weight shape");
   const int64_t d = vv.shape()[1];
   CheckOrDie(vv.shape()[0] == b * num_keys, "BatchWeightedSum: value shape");
-  Tensor out({b, d});
-  runtime::ParallelFor(
-      0, b, RowGrain(num_keys * d), [&](int64_t b0, int64_t b1) {
-        for (int64_t i = b0; i < b1; ++i) {
-          float* orow = out.data() + i * d;
-          for (int64_t k = 0; k < num_keys; ++k) {
-            const float weight = wv.at(i, k);
-            if (IsExactlyZero(weight)) continue;
-            const float* vrow = vv.data() + (i * num_keys + k) * d;
-            for (int64_t c = 0; c < d; ++c) orow[c] += weight * vrow[c];
+  Tensor out = kernels::NewTensor({b, d});
+  {
+    const float* wp = wv.data();
+    const float* vp = vv.data();
+    float* op = out.data();
+    kernels::CountFlops(2 * b * num_keys * d);
+    runtime::ParallelFor(
+        0, b, RowGrain(num_keys * d), [&](int64_t b0, int64_t b1) {
+          for (int64_t i = b0; i < b1; ++i) {
+            float* orow = op + i * d;
+            for (int64_t k = 0; k < num_keys; ++k) {
+              const float weight = wp[i * num_keys + k];
+              if (IsExactlyZero(weight)) continue;
+              kernels::Axpy(orow, weight, vp + (i * num_keys + k) * d, d);
+            }
           }
-        }
-      });
-  return MakeNode("BatchWeightedSum", 
-      std::move(out), {w, v_block}, [b, d, num_keys](VarNode& self) {
+        });
+  }
+  return MakeNode(
+      "BatchWeightedSum", std::move(out), {w, v_block},
+      [b, d, num_keys](VarNode& self) {
         VarNode& pw = *self.parents[0];
         VarNode& pv = *self.parents[1];
-        if (pw.requires_grad) pw.EnsureGrad();
-        if (pv.requires_grad) pv.EnsureGrad();
+        float* gw = pw.requires_grad ? pw.EnsureGrad().data() : nullptr;
+        float* gv = pv.requires_grad ? pv.EnsureGrad().data() : nullptr;
+        const float* sg = self.grad.data();
+        const float* wp = pw.value.data();
+        const float* vp = pv.value.data();
         // Blocked by batch row i: weight grads (i, :) and value grads
         // [i*num_keys, (i+1)*num_keys) are owned by one chunk each.
         runtime::ParallelFor(
             0, b, RowGrain(2 * num_keys * d), [&](int64_t b0, int64_t b1) {
               for (int64_t i = b0; i < b1; ++i) {
-                const float* grow = self.grad.data() + i * d;
+                const float* grow = sg + i * d;
                 for (int64_t k = 0; k < num_keys; ++k) {
                   const int64_t vrow = (i * num_keys + k) * d;
-                  if (pw.requires_grad) {
-                    float dot = 0.0f;
-                    for (int64_t c = 0; c < d; ++c)
-                      dot += grow[c] * pv.value.at(vrow + c);
-                    pw.grad.at(i * num_keys + k) += dot;
+                  if (gw != nullptr) {
+                    gw[i * num_keys + k] +=
+                        kernels::Dot(grow, vp + vrow, d);
                   }
-                  if (pv.requires_grad) {
-                    const float weight = pw.value.at(i * num_keys + k);
+                  if (gv != nullptr) {
+                    const float weight = wp[i * num_keys + k];
                     if (IsExactlyZero(weight)) continue;
-                    Tensor& gv = pv.grad;
-                    for (int64_t c = 0; c < d; ++c)
-                      gv.at(vrow + c) += weight * grow[c];
+                    kernels::Axpy(gv + vrow, weight, grow, d);
                   }
                 }
               }

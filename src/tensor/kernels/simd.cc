@@ -1,0 +1,33 @@
+#include "tensor/kernels/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace benchtemp::tensor::kernels {
+
+namespace {
+
+/// -1 = derive from the environment; 0/1 = forced by a test.
+// btlint: allow(mutable-static) — atomic test hook, relaxed loads only.
+std::atomic<int> g_simd_override{-1};
+
+bool SimdFromEnv() {
+  const char* v = std::getenv("BENCHTEMP_SIMD");
+  return v == nullptr || *v == '\0' || std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+bool SimdEnabled() {
+  const int forced = g_simd_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = SimdFromEnv();
+  return from_env;
+}
+
+void SetSimdEnabledForTest(int enabled) {
+  g_simd_override.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace benchtemp::tensor::kernels

@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <numeric>
 
 #include "tensor/random.h"
 
@@ -27,7 +26,31 @@ void CheckOrDie(bool condition, const char* message) {
 
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
   for (int64_t d : shape_) CheckOrDie(d >= 0, "negative tensor dimension");
-  data_.assign(static_cast<size_t>(Volume(shape_)), 0.0f);
+  size_ = Volume(shape_);
+  heap_.assign(static_cast<size_t>(size_), 0.0f);
+  data_ = heap_.data();
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  // Always into fresh heap storage: a copy of an arena-backed tensor is how
+  // values escape a TapeScope, so it must never alias the arena.
+  shape_ = other.shape_;
+  size_ = other.size_;
+  heap_.assign(other.data_, other.data_ + other.size_);
+  data_ = heap_.data();
+}
+
+void Tensor::MoveFrom(Tensor& other) noexcept {
+  shape_ = std::move(other.shape_);
+  heap_ = std::move(other.heap_);
+  // A moved std::vector keeps its buffer, so a heap-backed `data_` stays
+  // valid; an arena-backed one transfers verbatim.
+  data_ = other.data_;
+  size_ = other.size_;
+  other.shape_.clear();
+  other.heap_.clear();
+  other.data_ = nullptr;
+  other.size_ = 0;
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
@@ -63,7 +86,9 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
              "FromVector: payload size does not match shape volume");
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::move(data);
+  t.heap_ = std::move(data);
+  t.data_ = t.heap_.data();
+  t.size_ = static_cast<int64_t>(t.heap_.size());
   return t;
 }
 
@@ -80,7 +105,7 @@ int64_t Tensor::cols() const {
 }
 
 void Tensor::Fill(float value) {
-  for (float& x : data_) x = value;
+  for (int64_t i = 0; i < size_; ++i) data_[i] = value;
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
@@ -91,7 +116,7 @@ void Tensor::AddInPlace(const Tensor& other) {
 }
 
 void Tensor::Scale(float s) {
-  for (float& x : data_) x *= s;
+  for (int64_t i = 0; i < size_; ++i) data_[i] *= s;
 }
 
 std::string Tensor::ShapeString() const {

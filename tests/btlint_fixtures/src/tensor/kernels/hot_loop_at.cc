@@ -1,0 +1,21 @@
+// Fixture: bounds-checked element access inside the kernel layer. Both the
+// Tensor-style `.at(` and a pointer-member `->at(` must trip hot-loop-at;
+// the raw-pointer loop stays silent.
+namespace benchtemp::tensor::kernels {
+
+float SumAt(const Tensor& t, Tensor* u, long n) {
+  float total = 0.0f;
+  for (long i = 0; i < n; ++i) {
+    total += t.at(i);
+    total += u->at(i);
+  }
+  return total;
+}
+
+float SumRaw(const float* x, long n) {
+  float total = 0.0f;
+  for (long i = 0; i < n; ++i) total += x[i];
+  return total;
+}
+
+}  // namespace benchtemp::tensor::kernels

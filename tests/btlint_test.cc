@@ -46,9 +46,9 @@ std::multiset<std::string> RuleIds(const std::vector<Finding>& findings) {
   return ids;
 }
 
-TEST(BtlintCatalogTest, TenRulesWithUniqueIds) {
+TEST(BtlintCatalogTest, ElevenRulesWithUniqueIds) {
   const auto& rules = btlint::Rules();
-  EXPECT_EQ(rules.size(), 10u);
+  EXPECT_EQ(rules.size(), 11u);
   std::set<std::string> ids;
   for (const auto& r : rules) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
@@ -175,6 +175,27 @@ TEST(BtlintRuleTest, IncludeGuardAcceptsBothStyles) {
                        "#ifndef A_H_\n#define A_H_\nint F();\n#endif\n")
                   .empty());
   EXPECT_TRUE(LintFile("src/b.h", "#pragma once\nint F();\n").empty());
+}
+
+TEST(BtlintRuleTest, HotLoopAtFires) {
+  const auto findings = LintFixture("src/tensor/kernels/hot_loop_at.cc");
+  // t.at( and u->at(; the raw-pointer loop stays silent.
+  EXPECT_EQ(RuleIds(findings).count("hot-loop-at"), 2u);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(BtlintRuleTest, HotLoopAtScopedToKernelDir) {
+  // The identical source anywhere else in src/tensor is fine: Tensor::at()
+  // remains the sanctioned accessor outside the kernel layer.
+  const auto findings =
+      LintFile("src/tensor/shape_utils.cc",
+               ReadFixture("src/tensor/kernels/hot_loop_at.cc"));
+  EXPECT_EQ(RuleIds(findings).count("hot-loop-at"), 0u);
+}
+
+TEST(BtlintSuppressionTest, HotLoopAtAllowEscape) {
+  EXPECT_TRUE(
+      LintFixture("src/tensor/kernels/hot_loop_at_allowed.cc").empty());
 }
 
 TEST(BtlintSuppressionTest, PerLineAllowsSilenceEveryRule) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "graph/neighbor_finder.h"
 
 namespace benchtemp::graph {
@@ -141,6 +144,52 @@ TEST(NeighborFinderTest, DegreeBefore) {
   NeighborFinder finder(g);
   EXPECT_EQ(finder.DegreeBefore(0, 0.5), 0);
   EXPECT_EQ(finder.DegreeBefore(0, 10.0), 2);
+}
+
+TEST(NeighborFinderTest, CursorMonotonicQueries) {
+  // A sorted-timestamp query stream exercises the cursor fast path: each
+  // query must still return the exact lower-bound prefix.
+  TemporalGraph g;
+  for (int i = 0; i < 100; ++i) g.AddInteraction(0, 1 + i % 5, i);
+  NeighborFinder finder(g);
+  for (int t = 0; t <= 100; ++t) {
+    EXPECT_EQ(finder.DegreeBefore(0, t), t) << "ts=" << t;
+  }
+  // Repeated identical timestamps (cursor exactly at the answer).
+  EXPECT_EQ(finder.DegreeBefore(0, 42.0), 42);
+  EXPECT_EQ(finder.DegreeBefore(0, 42.0), 42);
+  // Ties: multiple events at one timestamp, Before() is strict.
+  TemporalGraph ties;
+  for (int i = 0; i < 4; ++i) ties.AddInteraction(0, 1, 5.0);
+  NeighborFinder tie_finder(ties);
+  EXPECT_EQ(tie_finder.DegreeBefore(0, 5.0), 0);
+  EXPECT_EQ(tie_finder.DegreeBefore(0, 5.5), 4);
+  EXPECT_EQ(tie_finder.DegreeBefore(0, 5.0), 0);  // rewind after advance
+}
+
+TEST(NeighborFinderTest, CursorOutOfOrderFallback) {
+  // Out-of-order queries fail the cursor's bracket check and must fall
+  // back to a full binary search with identical results.
+  TemporalGraph g;
+  for (int i = 0; i < 100; ++i) g.AddInteraction(0, 1, i);
+  NeighborFinder finder(g);
+  const double queries[] = {90.0, 10.0, 55.5, 0.0, 100.0, 3.25, 99.0};
+  for (const double ts : queries) {
+    const int64_t expected = static_cast<int64_t>(std::ceil(ts));
+    EXPECT_EQ(finder.DegreeBefore(0, ts), std::min<int64_t>(expected, 100))
+        << "ts=" << ts;
+  }
+  // Interleaving nodes keeps per-node cursors independent.
+  TemporalGraph two;
+  for (int i = 0; i < 10; ++i) {
+    two.AddInteraction(0, 2, i);
+    two.AddInteraction(1, 3, 10 + i);
+  }
+  NeighborFinder both(two);
+  EXPECT_EQ(both.DegreeBefore(0, 5.0), 5);
+  EXPECT_EQ(both.DegreeBefore(1, 15.0), 5);
+  EXPECT_EQ(both.DegreeBefore(0, 7.0), 7);
+  EXPECT_EQ(both.DegreeBefore(1, 12.0), 2);
 }
 
 }  // namespace

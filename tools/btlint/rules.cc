@@ -43,6 +43,9 @@ const std::vector<RuleInfo> kRules = {
     {"adhoc-timing", "api",
      "std::chrono clock reads outside src/obs and the watchdog (use "
      "obs::NowSeconds / ScopedPhaseTimer)"},
+    {"hot-loop-at", "api",
+     "bounds-checked .at( inside src/tensor/kernels/ (raw spans only in "
+     "the kernel layer)"},
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -633,6 +636,27 @@ void RuleAdhocTiming(const std::string& path, const LexedFile& f,
   }
 }
 
+void RuleHotLoopAt(const std::string& path, const LexedFile& f,
+                   std::vector<Finding>* out) {
+  // The kernel layer is the innermost hot path of every model; a
+  // bounds-checked element accessor there defeats the point of the layer.
+  // Kernels take raw float spans — anything calling `.at(` has smuggled a
+  // Tensor (or std::vector) into code that should be pointer arithmetic.
+  if (!StartsWith(path, "src/tensor/kernels/")) return;
+  const Tokens& toks = f.tokens;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "at")) continue;
+    const bool member_access =
+        IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->");
+    if (member_access && IsPunct(toks[i + 1], "(")) {
+      Report(out, path, toks[i], "hot-loop-at",
+             "bounds-checked '.at(' in the kernel layer; kernels operate "
+             "on raw float spans — index the pointer directly (or keep "
+             "construction-time code out of src/tensor/kernels/)");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions.
 // ---------------------------------------------------------------------------
@@ -736,6 +760,7 @@ std::vector<Finding> LintFile(const std::string& path,
   RuleRawNew(path, f, &findings);
   RuleIncludeGuard(path, f, &findings);
   RuleAdhocTiming(path, f, &findings);
+  RuleHotLoopAt(path, f, &findings);
 
   const Suppressions s = CollectSuppressions(f);
   std::vector<Finding> kept;
