@@ -12,6 +12,11 @@
 //                         the models the paper reports as slow /
 //                         non-converging, so their budget is tighter)
 //   BENCHTEMP_QUICK=1     shrink everything further (smoke-test mode)
+//   BENCHTEMP_DATASETS    comma-separated dataset filter (default: all)
+//   BENCHTEMP_MODELS      comma-separated model filter, paper names
+//                         (default: all)
+//   BENCHTEMP_PIPELINE    training-pipeline prefetch depth (default 2;
+//                         0 = synchronous — bit-identical either way)
 //
 // Robustness knobs (see DESIGN.md "Failure model"):
 //   BENCHTEMP_MANIFEST     sweep journal path; an interrupted run restarts
@@ -320,6 +325,25 @@ inline std::vector<datagen::DatasetSpec> SelectedDatasets(
   for (const datagen::DatasetSpec& spec : all) {
     if (list.find("," + spec.name + ",") != std::string::npos) {
       out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+/// Models selected by the BENCHTEMP_MODELS env var (comma-separated paper
+/// names, e.g. "TGN,TGAT"); empty selection = everything. Mirrors
+/// SelectedDatasets so CI can cut a sweep down to one (model, dataset)
+/// cell.
+inline std::vector<models::ModelKind> SelectedModels(
+    const std::vector<models::ModelKind>& all) {
+  const char* filter = std::getenv("BENCHTEMP_MODELS");
+  if (filter == nullptr || filter[0] == '\0') return all;
+  std::vector<models::ModelKind> out;
+  const std::string list = std::string(",") + filter + ",";
+  for (const models::ModelKind kind : all) {
+    if (list.find(std::string(",") + models::ModelKindName(kind) + ",") !=
+        std::string::npos) {
+      out.push_back(kind);
     }
   }
   return out;

@@ -29,7 +29,8 @@ int main() {
       grid.runs, static_cast<long long>(grid.feature_dim));
 
   std::vector<std::string> model_names, dataset_names;
-  const std::vector<models::ModelKind> kinds = models::PaperModels();
+  const std::vector<models::ModelKind> kinds =
+      bench::SelectedModels(models::PaperModels());
   for (models::ModelKind kind : kinds) {
     model_names.push_back(models::ModelKindName(kind));
   }

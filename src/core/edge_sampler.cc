@@ -42,6 +42,20 @@ std::vector<int32_t> RandomEdgeSampler::SampleNegatives(
   return out;
 }
 
+std::vector<int32_t> RandomEdgeSampler::SampleNegativesKeyed(
+    uint64_t stream_seed, const std::vector<int32_t>& srcs) const {
+  obs::MetricRegistry::Global().Add(obs::Counter::kSamplerNegatives,
+                                    static_cast<int64_t>(srcs.size()));
+  tensor::Rng rng(stream_seed);
+  std::vector<int32_t> out;
+  out.reserve(srcs.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    out.push_back(dst_lo_ + tensor::NarrowId(rng.UniformInt(dst_hi_ - dst_lo_),
+                                             "RandomEdgeSampler: dst id"));
+  }
+  return out;
+}
+
 void RandomEdgeSampler::Reset() { rng_ = tensor::Rng(seed_); }
 
 // ---------------------------------------------------------------------------

@@ -41,6 +41,13 @@ class RandomEdgeSampler : public EdgeSampler {
       const std::vector<int32_t>& srcs) override;
   void Reset() override;
 
+  /// Pure keyed variant for the pipelined trainer: negatives are a function
+  /// of (stream_seed, srcs) only — no sampler state is read or advanced —
+  /// so a batch prepared ahead of time on a prefetch thread is bit-identical
+  /// to the same batch prepared synchronously. Thread-safe.
+  std::vector<int32_t> SampleNegativesKeyed(
+      uint64_t stream_seed, const std::vector<int32_t>& srcs) const;
+
   /// Serialized RNG state for job checkpointing: the training sampler's
   /// stream advances across epochs, so resume must restore its position.
   std::string SaveRngState() const { return rng_.SaveState(); }

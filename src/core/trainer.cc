@@ -15,10 +15,12 @@
 #include "core/evaluator.h"
 #include "graph/neighbor_finder.h"
 #include "obs/metrics.h"
+#include "pipeline/pipeline.h"
 #include "robustness/checkpoint.h"
 #include "robustness/fault_injector.h"
 #include "tensor/kernels/arena.h"
 #include "tensor/optimizer.h"
+#include "tensor/random.h"
 #include "tensor/serialize.h"
 
 namespace benchtemp::core {
@@ -117,17 +119,65 @@ bool Canceled(const TrainConfig& tc) {
          tc.cancel_token->load(std::memory_order_relaxed);
 }
 
-/// Fault-injection probes shared by both task loops: an injected stall
-/// (trips the watchdog) and an injected forward-pass crash (caught at the
-/// sweep's job boundary).
-void ProbeBatchFaults() {
+/// Injected batch stall, probed from the batch-*prepare* stage so the
+/// stall lands on the producer thread when the pipeline is on. The
+/// watchdog still trips either way: the consumer's Next() polls the cancel
+/// token while it waits for the stalled slot.
+void ProbeStallFault() {
   auto& injector = robustness::FaultInjector::Global();
   if (injector.Fire(robustness::FaultSite::kStallBatch)) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(injector.stall_ms()));
   }
+}
+
+/// Injected forward-pass crash, probed on the consumer thread so the
+/// exception propagates to the sweep's job boundary (not into a pool
+/// worker).
+void ProbeThrowFault() {
+  auto& injector = robustness::FaultInjector::Global();
   if (injector.Fire(robustness::FaultSite::kThrowForward)) {
     throw std::runtime_error("injected fault: forward pass");
+  }
+}
+
+/// Per-batch preparation seed: decorrelated lanes of (job seed, epoch,
+/// batch). NaN-retried epochs reuse the same epoch index — and therefore
+/// the same seeds — so a retry replays the exact stream the rolled-back
+/// attempt consumed.
+uint64_t BatchSeed(uint64_t job_seed, int epoch, int64_t batch_index) {
+  return tensor::SplitMix64(
+      tensor::SplitMix64(job_seed, static_cast<uint64_t>(epoch)),
+      static_cast<uint64_t>(batch_index) + 17);
+}
+
+/// Accumulates one prefetcher's accounting into the job-wide fields.
+void AccumulatePipelineStats(const pipeline::PipelineStats& s,
+                             EfficiencyStats* eff) {
+  eff->pipeline_batches += s.batches;
+  eff->pipeline_prefetched += s.prefetched;
+  eff->pipeline_prepare_seconds += s.prepare_seconds;
+  eff->pipeline_wait_seconds += s.wait_seconds;
+}
+
+/// Finalizes the job-wide overlap ratio and publishes the pipeline gauges
+/// (gauges are last-write-wins and excluded from the counters digest, so
+/// sync and async runs stay digest-comparable).
+void FinishPipelineStats(int depth, EfficiencyStats* eff) {
+  eff->pipeline_depth = depth;
+  pipeline::PipelineStats total;
+  total.batches = eff->pipeline_batches;
+  total.prefetched = eff->pipeline_prefetched;
+  total.prepare_seconds = eff->pipeline_prepare_seconds;
+  total.wait_seconds = eff->pipeline_wait_seconds;
+  eff->pipeline_overlap_ratio =
+      depth > 0 && total.batches > 0 ? total.overlap_ratio() : 0.0;
+  if (obs::MetricRegistry::Enabled() && total.batches > 0) {
+    auto& registry = obs::MetricRegistry::Global();
+    registry.SetGauge("pipeline.depth", static_cast<double>(depth));
+    registry.SetGauge("pipeline.prefetch_wait_ms",
+                      total.wait_seconds * 1000.0);
+    registry.SetGauge("pipeline.overlap_ratio", eff->pipeline_overlap_ratio);
   }
 }
 
@@ -275,6 +325,11 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
     }
   }
 
+  // Resolved prefetch depth (0 = synchronous): an explicit TrainConfig
+  // value wins, otherwise BENCHTEMP_PIPELINE decides.
+  const int pipeline_depth =
+      tc.pipeline_depth >= 0 ? tc.pipeline_depth : pipeline::DepthFromEnv();
+
   while (epoch < max_epochs) {
     const double epoch_start = NowSeconds();
     bool nan_event = false;
@@ -284,79 +339,109 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
     }
     model->set_training(true);
     model->SetNeighborFinder(&train_finder);
-    for (const Batch& batch : train_batches) {
-      // The tape scope is the first declaration in the loop body, so the
-      // batch's Vars (pos/neg/loss graph) are destroyed before the arena
-      // rewinds their storage.
-      tensor::kernels::TapeScope tape_scope;
-      if (Canceled(tc)) {
-        canceled = true;
-        break;
-      }
-      ProbeBatchFaults();
-      std::vector<int32_t> negatives;
-      {
-        obs::ScopedPhaseTimer timer(obs::Phase::kSample);
-        negatives = train_sampler.SampleNegatives(batch.srcs);
-      }
-      Var pos, neg;
-      {
-        obs::ScopedPhaseTimer timer(obs::Phase::kForward);
-        pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
-        neg = model->ScoreEdges(batch.srcs, negatives, batch.ts);
-      }
-      if (model->status() == ModelStatus::kRuntimeError) {
-        result.status = ModelStatus::kRuntimeError;
-        result.annotation = "*";
-        result.nan_retries = nan_retries;
-        retire_checkpoint();
-        return result;
-      }
-      if (model->trainable()) {
-        bool finite = true;
-        Var loss;
-        {
-          obs::ScopedPhaseTimer timer(obs::Phase::kForward);
-          Tensor ones({pos->value.size()});
-          ones.Fill(1.0f);
-          Tensor zeros({neg->value.size()});
-          loss = ScalarMul(
-              Add(BceWithLogits(pos, ones), BceWithLogits(neg, zeros)), 0.5f);
-          // NaN/Inf sentinel 1: a non-finite loss means this step would
-          // poison the parameters — bail out before touching them.
-          finite = tensor::AllFinite(loss->value);
-        }
-        if (robustness::FaultInjector::Global().Fire(
-                robustness::FaultSite::kNanLoss)) {
-          finite = false;
-        }
-        if (!finite) {
-          nan_event = true;
+    {
+      // Batch preparation — stall probe, keyed negatives, the model's
+      // sampling stage — is a pure function of (epoch, batch index), so it
+      // runs inline at depth 0 and ahead on pool workers otherwise with
+      // bit-identical results. Scoped so the prefetcher drains before the
+      // neighbor finder swaps to the full index (and so a NaN retry
+      // discards, never checkpoints, prefetched batches).
+      auto prepare = [&, epoch](int64_t bi) {
+        pipeline::PreparedBatch pb;
+        pb.index = bi;
+        ProbeStallFault();
+        const Batch& pbatch = train_batches[static_cast<size_t>(bi)];
+        const uint64_t seed = BatchSeed(tc.seed, epoch, bi);
+        pb.negatives = train_sampler.SampleNegativesKeyed(
+            tensor::SplitMix64(seed, 0), pbatch.srcs);
+        pb.inputs = model->PrepareBatch(pbatch, pb.negatives, seed);
+        return pb;
+      };
+      pipeline::BatchPrefetcher prefetcher(
+          static_cast<int64_t>(train_batches.size()), pipeline_depth,
+          prepare, tc.cancel_token);
+      for (size_t bi = 0; bi < train_batches.size(); ++bi) {
+        // The tape scope is the first declaration in the loop body, so the
+        // batch's Vars (pos/neg/loss graph) are destroyed before the arena
+        // rewinds their storage.
+        tensor::kernels::TapeScope tape_scope;
+        if (Canceled(tc)) {
+          canceled = true;
           break;
         }
+        pipeline::PreparedBatch pb;
         {
-          obs::ScopedPhaseTimer timer(obs::Phase::kBackward);
-          optimizer.ZeroGrad();
-          Backward(loss);
-          // Sentinel 2: gradients can overflow even under a finite loss.
-          if (!tensor::GradsFinite(params)) {
-            nan_event = true;
-          } else {
-            tensor::ClipGradNorm(params, tc.grad_clip_norm);
-            optimizer.Step();
-            // Sentinel 3: the Adam update itself (tiny v̂, large m̂) can
-            // still push a parameter out of range.
-            if (!tensor::ParamsFinite(params)) nan_event = true;
+          obs::ScopedPhaseTimer timer(obs::Phase::kSample);
+          if (!prefetcher.Next(&pb)) {
+            canceled = true;
+            break;
           }
         }
-        if (nan_event) break;
+        ProbeThrowFault();
+        const Batch& batch = train_batches[static_cast<size_t>(pb.index)];
+        const std::vector<int32_t>& negatives = pb.negatives;
+        Var pos, neg;
+        {
+          obs::ScopedPhaseTimer timer(obs::Phase::kForward);
+          model->SetPreparedInputs(pb.inputs.get());
+          pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
+          neg = model->ScoreEdges(batch.srcs, negatives, batch.ts);
+          model->SetPreparedInputs(nullptr);
+        }
+        if (model->status() == ModelStatus::kRuntimeError) {
+          result.status = ModelStatus::kRuntimeError;
+          result.annotation = "*";
+          result.nan_retries = nan_retries;
+          retire_checkpoint();
+          return result;
+        }
+        if (model->trainable()) {
+          bool finite = true;
+          Var loss;
+          {
+            obs::ScopedPhaseTimer timer(obs::Phase::kForward);
+            Tensor ones({pos->value.size()});
+            ones.Fill(1.0f);
+            Tensor zeros({neg->value.size()});
+            loss = ScalarMul(
+                Add(BceWithLogits(pos, ones), BceWithLogits(neg, zeros)), 0.5f);
+            // NaN/Inf sentinel 1: a non-finite loss means this step would
+            // poison the parameters — bail out before touching them.
+            finite = tensor::AllFinite(loss->value);
+          }
+          if (robustness::FaultInjector::Global().Fire(
+                  robustness::FaultSite::kNanLoss)) {
+            finite = false;
+          }
+          if (!finite) {
+            nan_event = true;
+            break;
+          }
+          {
+            obs::ScopedPhaseTimer timer(obs::Phase::kBackward);
+            optimizer.ZeroGrad();
+            Backward(loss);
+            // Sentinel 2: gradients can overflow even under a finite loss.
+            if (!tensor::GradsFinite(params)) {
+              nan_event = true;
+            } else {
+              tensor::ClipGradNorm(params, tc.grad_clip_norm);
+              optimizer.Step();
+              // Sentinel 3: the Adam update itself (tiny v̂, large m̂) can
+              // still push a parameter out of range.
+              if (!tensor::ParamsFinite(params)) nan_event = true;
+            }
+          }
+          if (nan_event) break;
+        }
+        {
+          obs::ScopedPhaseTimer timer(obs::Phase::kMemoryUpdate);
+          model->UpdateState(batch);
+        }
+        registry.Add(obs::Counter::kTrainBatches, 1);
+        registry.Add(obs::Counter::kTrainEvents, batch.size());
       }
-      {
-        obs::ScopedPhaseTimer timer(obs::Phase::kMemoryUpdate);
-        model->UpdateState(batch);
-      }
-      registry.Add(obs::Counter::kTrainBatches, 1);
-      registry.Add(obs::Counter::kTrainEvents, batch.size());
+      AccumulatePipelineStats(prefetcher.stats(), &result.efficiency);
     }
     if (canceled) break;
     if (nan_event) {
@@ -454,6 +539,7 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
     eff.parameter_bytes = model->ParameterBytes();
     eff.checkpoint_bytes = checkpoint_bytes;
     eff.phase_seconds = run_phases.seconds;
+    FinishPipelineStats(pipeline_depth, &eff);
     retire_checkpoint();
     return result;
   }
@@ -517,6 +603,7 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
   eff.parameter_bytes = model->ParameterBytes();
   eff.checkpoint_bytes = checkpoint_bytes;
   eff.phase_seconds = run_phases.seconds;
+  FinishPipelineStats(pipeline_depth, &eff);
   if (retried_epoch_seconds > 0.0) {
     registry.SetGauge("train.retried_epoch_seconds", retried_epoch_seconds);
   }
@@ -567,6 +654,8 @@ NodeClassificationResult RunNodeClassification(
   auto& registry = obs::MetricRegistry::Global();
   double pretrain_seconds = 0.0;
   const int pretrain = model->trainable() ? job.pretrain_epochs : 0;
+  const int pipeline_depth =
+      tc.pipeline_depth >= 0 ? tc.pipeline_depth : pipeline::DepthFromEnv();
   for (int epoch = 0; epoch < pretrain; ++epoch) {
     const double epoch_start = NowSeconds();
     {
@@ -575,23 +664,46 @@ NodeClassificationResult RunNodeClassification(
     }
     model->set_training(true);
     model->SetNeighborFinder(&full_finder);
-    for (const Batch& batch : train_batches) {
+    // Same pipelined preparation as the link-prediction loop: pure per-batch
+    // seeds, scoped so the prefetcher drains before the epoch ends.
+    auto prepare = [&, epoch](int64_t bi) {
+      pipeline::PreparedBatch pb;
+      pb.index = bi;
+      ProbeStallFault();
+      const Batch& pbatch = train_batches[static_cast<size_t>(bi)];
+      const uint64_t seed = BatchSeed(tc.seed, epoch, bi);
+      pb.negatives = train_sampler.SampleNegativesKeyed(
+          tensor::SplitMix64(seed, 0), pbatch.srcs);
+      pb.inputs = model->PrepareBatch(pbatch, pb.negatives, seed);
+      return pb;
+    };
+    pipeline::BatchPrefetcher prefetcher(
+        static_cast<int64_t>(train_batches.size()), pipeline_depth, prepare,
+        tc.cancel_token);
+    for (size_t bi = 0; bi < train_batches.size(); ++bi) {
       tensor::kernels::TapeScope tape_scope;
       if (Canceled(tc)) {
         result.annotation = "x";
         return result;
       }
-      ProbeBatchFaults();
-      std::vector<int32_t> negatives;
+      pipeline::PreparedBatch pb;
       {
         obs::ScopedPhaseTimer timer(obs::Phase::kSample);
-        negatives = train_sampler.SampleNegatives(batch.srcs);
+        if (!prefetcher.Next(&pb)) {
+          result.annotation = "x";
+          return result;
+        }
       }
+      ProbeThrowFault();
+      const Batch& batch = train_batches[static_cast<size_t>(pb.index)];
+      const std::vector<int32_t>& negatives = pb.negatives;
       Var pos, neg;
       {
         obs::ScopedPhaseTimer timer(obs::Phase::kForward);
+        model->SetPreparedInputs(pb.inputs.get());
         pos = model->ScoreEdges(batch.srcs, batch.dsts, batch.ts);
         neg = model->ScoreEdges(batch.srcs, negatives, batch.ts);
+        model->SetPreparedInputs(nullptr);
       }
       if (model->status() == ModelStatus::kRuntimeError) {
         result.status = ModelStatus::kRuntimeError;
@@ -621,8 +733,10 @@ NodeClassificationResult RunNodeClassification(
       registry.Add(obs::Counter::kTrainBatches, 1);
       registry.Add(obs::Counter::kTrainEvents, batch.size());
     }
+    AccumulatePipelineStats(prefetcher.stats(), &result.efficiency);
     pretrain_seconds += NowSeconds() - epoch_start;
   }
+  FinishPipelineStats(pipeline_depth, &result.efficiency);
 
   // Frozen-embedding extraction: one chronological pass over the stream
   // caching each labeled event's source-node embedding.

@@ -51,6 +51,15 @@ struct TrainConfig {
   /// batch boundaries; when it goes true the job winds down with the "x"
   /// annotation. Non-owning; may be null.
   const std::atomic<bool>* cancel_token = nullptr;
+
+  // --- Pipelined training (see DESIGN.md "Pipelined training") ---
+
+  /// Prefetch depth of the producer/consumer training pipeline: 0 runs
+  /// batch preparation synchronously, k > 0 prepares up to k batches ahead
+  /// on the shared thread pool. -1 (the default) resolves the depth from
+  /// BENCHTEMP_PIPELINE. Any depth produces bit-identical results — batch
+  /// preparation is a pure function of (batch index, seed).
+  int pipeline_depth = -1;
 };
 
 /// Efficiency measurements — the CPU stand-ins for the paper's Table 4/12
@@ -79,6 +88,22 @@ struct EfficiencyStats {
   /// Per-phase wall-time attributed to this run while metrics collection
   /// was enabled (all-zero otherwise). Indexed by static_cast<int>(Phase).
   std::array<double, obs::kNumPhases> phase_seconds{};
+
+  // --- Pipelined-training accounting (always collected; cheap) ---
+
+  /// Resolved prefetch depth the job ran with (0 = synchronous).
+  int pipeline_depth = 0;
+  /// Training batches delivered through the pipeline.
+  int64_t pipeline_batches = 0;
+  /// Delivered batches whose preparation was fully hidden by the prefetch.
+  int64_t pipeline_prefetched = 0;
+  /// Total wall-time spent preparing batches (any thread).
+  double pipeline_prepare_seconds = 0.0;
+  /// Consumer wall-time blocked waiting on batch preparation.
+  double pipeline_wait_seconds = 0.0;
+  /// 1 - wait/prepare over the whole job, clamped to [0, 1]; 0 when
+  /// synchronous.
+  double pipeline_overlap_ratio = 0.0;
 };
 
 /// Metrics of one evaluation setting.

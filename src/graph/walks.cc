@@ -10,13 +10,10 @@ namespace benchtemp::graph {
 
 namespace {
 
-/// SplitMix64 finalizer — decorrelates the per-root seeds derived from one
-/// batch seed so adjacent roots don't get adjacent engine states.
+/// Decorrelates the per-root seeds derived from one batch seed so adjacent
+/// roots don't get adjacent engine states.
 uint64_t MixSeed(uint64_t seed, uint64_t index) {
-  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return tensor::SplitMix64(seed, index);
 }
 
 }  // namespace

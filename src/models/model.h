@@ -65,6 +65,14 @@ struct Batch {
   int64_t size() const { return static_cast<int64_t>(srcs.size()); }
 };
 
+/// Opaque precomputed batch inputs produced by TgnnModel::PrepareBatch on a
+/// prefetch thread and consumed by the same model's ScoreEdges calls on the
+/// training thread. Each model defines its own derived payload (walk trees,
+/// sampled neighborhoods); the trainer only moves it around.
+struct PreparedInputs {
+  virtual ~PreparedInputs() = default;
+};
+
 /// Common interface of the benchmark's TGNN implementations.
 ///
 /// The pipeline drives a model through chronological batches:
@@ -99,6 +107,31 @@ class TgnnModel {
 
   /// Advances internal temporal state with observed (positive) events.
   virtual void UpdateState(const Batch& batch);
+
+  /// Precomputes the stochastic sampling work of one training batch (walk
+  /// trees, windowed neighborhoods) as a pure function of the arguments and
+  /// the model's *temporal state as of the previous batch* — no member RNG
+  /// is touched, so this may run on a prefetch thread while the training
+  /// thread works on the preceding batch. `seed` is the per-batch SplitMix64
+  /// stream seed assigned by the trainer. Returns nullptr when the model has
+  /// no sampling stage to hoist (memory-only models like TGN/JODIE).
+  virtual std::unique_ptr<PreparedInputs> PrepareBatch(
+      const Batch& batch, const std::vector<int32_t>& negatives,
+      uint64_t seed) const {
+    (void)batch;
+    (void)negatives;
+    (void)seed;
+    return nullptr;
+  }
+
+  /// Installs prepared inputs for the *next* ScoreEdges calls (borrowed, not
+  /// owned; pass nullptr to clear). When set, the model consumes the
+  /// precomputed samples instead of drawing from its member RNG, and the
+  /// draws match what the synchronous path would have produced because both
+  /// are keyed off the same per-batch seed.
+  void SetPreparedInputs(const PreparedInputs* prepared) {
+    prepared_ = prepared;
+  }
 
   /// Trainable parameters of the model (empty for heuristics).
   virtual std::vector<tensor::Var> Parameters() const = 0;
@@ -150,6 +183,9 @@ class TgnnModel {
   bool training_ = false;
   ModelStatus status_ = ModelStatus::kOk;
   std::unique_ptr<tensor::MergeLayer> predictor_;
+  /// Borrowed prepared inputs for the in-flight batch (see PrepareBatch);
+  /// nullptr outside the pipelined scoring window.
+  const PreparedInputs* prepared_ = nullptr;
 };
 
 }  // namespace benchtemp::models

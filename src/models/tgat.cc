@@ -32,7 +32,8 @@ void Tgat::Reset() {
 }
 
 std::vector<TemporalNeighbor> Tgat::SampleWindowed(int32_t node, double ts,
-                                                   int64_t k) {
+                                                   int64_t k,
+                                                   tensor::Rng& rng) const {
   int64_t count = 0;
   const TemporalNeighbor* history = finder_->Before(node, ts, &count);
   if (count == 0) return {};
@@ -49,8 +50,68 @@ std::vector<TemporalNeighbor> Tgat::SampleWindowed(int32_t node, double ts,
   std::vector<TemporalNeighbor> out;
   out.reserve(static_cast<size_t>(k));
   for (int64_t i = 0; i < k; ++i) {
-    out.push_back(history[lo + rng_.UniformInt(count - lo)]);
+    out.push_back(history[lo + rng.UniformInt(count - lo)]);
   }
+  return out;
+}
+
+SampledNeighborhood Tgat::SampleNeighborhood(
+    const std::vector<int32_t>& nodes, const std::vector<double>& ts,
+    tensor::Rng& rng) const {
+  tensor::CheckOrDie(finder_ != nullptr, "TGAT: neighbor finder not set");
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  const int64_t k = config_.num_neighbors;
+  SampledNeighborhood nb;
+  nb.num_queries = n;
+  nb.flat_neighbors.assign(static_cast<size_t>(n * k), 0);
+  nb.flat_times.assign(static_cast<size_t>(n * k), 0.0);
+  nb.flat_edges.assign(static_cast<size_t>(n * k), 0);
+  nb.flat_dts.assign(static_cast<size_t>(n * k), 0.0f);
+  nb.mask = Tensor({n, k});
+  for (int64_t i = 0; i < n; ++i) {
+    const auto sampled = SampleWindowed(nodes[static_cast<size_t>(i)],
+                                        ts[static_cast<size_t>(i)], k, rng);
+    if (sampled.empty()) ++nb.empty_queries;
+    for (size_t j = 0; j < sampled.size(); ++j) {
+      const TemporalNeighbor& nbr = sampled[j];
+      nb.flat_neighbors[static_cast<size_t>(i * k) + j] = nbr.neighbor;
+      nb.flat_times[static_cast<size_t>(i * k) + j] = nbr.ts;
+      nb.flat_edges[static_cast<size_t>(i * k) + j] = nbr.edge_idx;
+      nb.flat_dts[static_cast<size_t>(i * k) + j] =
+          static_cast<float>(ts[static_cast<size_t>(i)] - nbr.ts);
+      nb.mask.at(i, static_cast<int64_t>(j)) = 1.0f;
+    }
+  }
+  return nb;
+}
+
+void Tgat::BuildSampleTree(const std::vector<int32_t>& nodes,
+                           const std::vector<double>& ts, int64_t layer,
+                           tensor::Rng& rng,
+                           std::vector<SampledNeighborhood>* out) const {
+  if (layer == 0) return;
+  SampledNeighborhood nb = SampleNeighborhood(nodes, ts, rng);
+  // Copy the recursion inputs before the push_back: growing `out` would
+  // invalidate a reference into it.
+  std::vector<int32_t> flat_neighbors = nb.flat_neighbors;
+  std::vector<double> flat_times = nb.flat_times;
+  out->push_back(std::move(nb));
+  BuildSampleTree(nodes, ts, layer - 1, rng, out);
+  BuildSampleTree(flat_neighbors, flat_times, layer - 1, rng, out);
+}
+
+std::unique_ptr<PreparedInputs> Tgat::PrepareBatch(
+    const Batch& batch, const std::vector<int32_t>& negatives,
+    uint64_t seed) const {
+  tensor::CheckOrDie(finder_ != nullptr, "TGAT: neighbor finder not set");
+  auto out = std::make_unique<TgatPreparedInputs>();
+  tensor::Rng rng(tensor::SplitMix64(seed, 3));
+  // ScoreEdges(pos) embeds srcs then dsts; ScoreEdges(neg) embeds srcs then
+  // negatives — build the four depth-first trees in that consumption order.
+  BuildSampleTree(batch.srcs, batch.ts, config_.num_layers, rng, &out->fifo);
+  BuildSampleTree(batch.dsts, batch.ts, config_.num_layers, rng, &out->fifo);
+  BuildSampleTree(batch.srcs, batch.ts, config_.num_layers, rng, &out->fifo);
+  BuildSampleTree(negatives, batch.ts, config_.num_layers, rng, &out->fifo);
   return out;
 }
 
@@ -63,41 +124,36 @@ Var Tgat::EmbedLayer(const std::vector<int32_t>& nodes,
   const int64_t n = static_cast<int64_t>(nodes.size());
   const int64_t k = config_.num_neighbors;
 
-  std::vector<int32_t> flat_neighbors(static_cast<size_t>(n * k), 0);
-  std::vector<double> flat_times(static_cast<size_t>(n * k), 0.0);
-  std::vector<int32_t> flat_edges(static_cast<size_t>(n * k), 0);
-  std::vector<float> flat_dts(static_cast<size_t>(n * k), 0.0f);
-  Tensor mask({n, k});
-  int64_t empty_queries = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    const auto sampled = SampleWindowed(nodes[static_cast<size_t>(i)],
-                                        ts[static_cast<size_t>(i)], k);
-    if (sampled.empty()) ++empty_queries;
-    for (size_t j = 0; j < sampled.size(); ++j) {
-      const TemporalNeighbor& nbr = sampled[j];
-      flat_neighbors[static_cast<size_t>(i * k) + j] = nbr.neighbor;
-      flat_times[static_cast<size_t>(i * k) + j] = nbr.ts;
-      flat_edges[static_cast<size_t>(i * k) + j] = nbr.edge_idx;
-      flat_dts[static_cast<size_t>(i * k) + j] =
-          static_cast<float>(ts[static_cast<size_t>(i)] - nbr.ts);
-      mask.at(i, static_cast<int64_t>(j)) = 1.0f;
-    }
+  // Pipelined path: pop the next precomputed neighborhood; both sync and
+  // async modes install identical prepared inputs, so consumption order —
+  // and therefore every sampled neighbor — is mode-independent.
+  SampledNeighborhood local;
+  const SampledNeighborhood* nb = nullptr;
+  const auto* tp = dynamic_cast<const TgatPreparedInputs*>(prepared_);
+  if (tp != nullptr && tp->cursor < tp->fifo.size()) {
+    nb = &tp->fifo[tp->cursor++];
+    tensor::CheckOrDie(nb->num_queries == n,
+                       "TGAT: prepared neighborhood shape mismatch");
+  } else {
+    local = SampleNeighborhood(nodes, ts, rng_);
+    nb = &local;
   }
   // The paper's "*": with a restrictive window no query in the batch can
   // assemble an attention neighborhood, which crashes the reference layer.
-  if (config_.tgat_time_window > 0.0 && empty_queries == n && n > 0) {
+  if (config_.tgat_time_window > 0.0 && nb->empty_queries == n && n > 0) {
     status_ = ModelStatus::kRuntimeError;
   }
 
   Var self_prev = EmbedLayer(nodes, ts, layer - 1);
-  Var nbr_prev = EmbedLayer(flat_neighbors, flat_times, layer - 1);
+  Var nbr_prev = EmbedLayer(nb->flat_neighbors, nb->flat_times, layer - 1);
   Var query = ConcatCols(
       {self_prev, time_encoder_.Encode(std::vector<float>(
                       static_cast<size_t>(n), 0.0f))});
   Var keys = ConcatCols({nbr_prev, /*edge features*/
-                         [this, &flat_edges] {
+                         [this, nb] {
                            const Tensor& ef = graph_->edge_features();
                            const int64_t d = graph_->edge_feature_dim();
+                           const auto& flat_edges = nb->flat_edges;
                            Tensor block(
                                {static_cast<int64_t>(flat_edges.size()), d});
                            for (size_t r = 0; r < flat_edges.size(); ++r) {
@@ -108,9 +164,9 @@ Var Tgat::EmbedLayer(const std::vector<int32_t>& nodes,
                            }
                            return Constant(std::move(block));
                          }(),
-                         time_encoder_.Encode(flat_dts)});
+                         time_encoder_.Encode(nb->flat_dts)});
   Var attended = layers_[static_cast<size_t>(layer - 1)]->Forward(
-      query, keys, keys, mask, k);
+      query, keys, keys, nb->mask, k);
   return Relu(layer_out_[static_cast<size_t>(layer - 1)]->Forward(
       ConcatCols({attended, self_prev})));
 }

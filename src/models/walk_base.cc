@@ -115,15 +115,13 @@ Var WalkModel::EncodeWalkGroups(
                           walks_per_group);
 }
 
-Var WalkModel::EncodePairs(const std::vector<int32_t>& srcs,
-                           const std::vector<int32_t>& dsts,
-                           const std::vector<double>& ts) {
+void WalkModel::BuildPairGroups(
+    const std::vector<int32_t>& srcs, const std::vector<int32_t>& dsts,
+    const std::vector<double>& ts, uint64_t batch_seed,
+    std::vector<std::vector<TemporalWalk>>* groups,
+    std::vector<CawAnonymizer>* anonymizers) const {
   tensor::CheckOrDie(finder_ != nullptr, "WalkModel: neighbor finder not set");
   const size_t n = srcs.size();
-  // One batch seed drawn serially keeps the model's RNG stream
-  // deterministic; the batch sampler derives per-root streams from it so
-  // the walks are identical at any thread count.
-  const uint64_t batch_seed = rng_.engine()();
   std::vector<int32_t> roots(srcs);
   roots.insert(roots.end(), dsts.begin(), dsts.end());
   std::vector<double> root_ts(ts);
@@ -131,18 +129,64 @@ Var WalkModel::EncodePairs(const std::vector<int32_t>& srcs,
   auto sampled =
       sampler_->SampleWalkBatch(*finder_, roots, root_ts, config_.num_walks,
                                 config_.walk_length, batch_seed);
-  std::vector<std::vector<TemporalWalk>> groups;
-  std::vector<CawAnonymizer> anonymizers;
-  groups.reserve(n);
-  anonymizers.reserve(n);
+  groups->clear();
+  anonymizers->clear();
+  groups->reserve(n);
+  anonymizers->reserve(n);
   for (size_t i = 0; i < n; ++i) {
     std::vector<TemporalWalk>& walks_u = sampled[i];
     std::vector<TemporalWalk>& walks_v = sampled[n + i];
-    anonymizers.emplace_back(walks_u, walks_v, config_.walk_length);
+    anonymizers->emplace_back(walks_u, walks_v, config_.walk_length);
     std::vector<TemporalWalk> group = std::move(walks_u);
     for (auto& w : walks_v) group.push_back(std::move(w));
-    groups.push_back(std::move(group));
+    groups->push_back(std::move(group));
   }
+}
+
+std::unique_ptr<PreparedInputs> WalkModel::PrepareBatch(
+    const Batch& batch, const std::vector<int32_t>& negatives,
+    uint64_t seed) const {
+  auto out = std::make_unique<WalkPreparedInputs>();
+  out->pos.dsts = batch.dsts;
+  BuildPairGroups(batch.srcs, batch.dsts, batch.ts,
+                  tensor::SplitMix64(seed, 1), &out->pos.groups,
+                  &out->pos.anonymizers);
+  out->neg.dsts = negatives;
+  BuildPairGroups(batch.srcs, negatives, batch.ts, tensor::SplitMix64(seed, 2),
+                  &out->neg.groups, &out->neg.anonymizers);
+  return out;
+}
+
+Var WalkModel::EncodePairs(const std::vector<int32_t>& srcs,
+                           const std::vector<int32_t>& dsts,
+                           const std::vector<double>& ts) {
+  tensor::CheckOrDie(finder_ != nullptr, "WalkModel: neighbor finder not set");
+  if (prepared_ != nullptr) {
+    // Pipelined path: consume the precomputed pair set whose dsts match the
+    // incoming call (pos first, then neg — the trainer scores in that
+    // order, and both the sync and async modes install the same prepared
+    // inputs, so the match is mode-independent).
+    const auto* wp = dynamic_cast<const WalkPreparedInputs*>(prepared_);
+    if (wp != nullptr) {
+      const WalkPreparedInputs::PairSet* set = nullptr;
+      if (wp->pos.dsts == dsts) {
+        set = &wp->pos;
+      } else if (wp->neg.dsts == dsts) {
+        set = &wp->neg;
+      }
+      if (set != nullptr) {
+        return EncodeWalkGroups(set->groups, set->anonymizers, ts);
+      }
+    }
+  }
+  // Inline path (evaluation, or a call outside the trainer's prepared
+  // window): one batch seed drawn serially keeps the model's RNG stream
+  // deterministic; the batch sampler derives per-root streams from it so
+  // the walks are identical at any thread count.
+  const uint64_t batch_seed = rng_.engine()();
+  std::vector<std::vector<TemporalWalk>> groups;
+  std::vector<CawAnonymizer> anonymizers;
+  BuildPairGroups(srcs, dsts, ts, batch_seed, &groups, &anonymizers);
   return EncodeWalkGroups(groups, anonymizers, ts);
 }
 

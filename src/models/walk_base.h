@@ -11,6 +11,20 @@
 
 namespace benchtemp::models {
 
+/// Prefetched walk inputs of one training batch: the positive and negative
+/// pair sets' sampled walk groups + anonymizers. Each set carries the dsts
+/// vector it was built for so EncodePairs can match the incoming call to
+/// the right precomputed set by value.
+struct WalkPreparedInputs : public PreparedInputs {
+  struct PairSet {
+    std::vector<int32_t> dsts;
+    std::vector<std::vector<graph::TemporalWalk>> groups;
+    std::vector<graph::CawAnonymizer> anonymizers;
+  };
+  PairSet pos;
+  PairSet neg;
+};
+
 /// Shared machinery of the temporal-walk models (CAWN, NeurTW): batched
 /// sampling of backward-in-time walks, set-based anonymization, and an
 /// RNN encoder that processes *all* walks of a batch step-synchronously
@@ -27,6 +41,14 @@ class WalkModel : public TgnnModel {
                                 const std::vector<double>& ts) override;
   std::vector<tensor::Var> Parameters() const override;
   int64_t StateBytes() const override;
+
+  /// Pre-samples the pos/neg walk trees + anonymizers. Pure: derives both
+  /// pair sets' walk streams from `seed` (SplitMix64 lanes 1 and 2) without
+  /// touching the member RNG, so it is safe on a prefetch thread and
+  /// bit-identical to inline preparation.
+  std::unique_ptr<PreparedInputs> PrepareBatch(
+      const Batch& batch, const std::vector<int32_t>& negatives,
+      uint64_t seed) const override;
 
  protected:
   /// Hook for NeurTW's continuous evolution: transform the hidden state
@@ -56,6 +78,16 @@ class WalkModel : public TgnnModel {
       const std::vector<std::vector<graph::TemporalWalk>>& groups,
       const std::vector<graph::CawAnonymizer>& anonymizers,
       const std::vector<double>& root_ts);
+
+  /// Samples the (src, dst) pair walk sets keyed by `batch_seed` and builds
+  /// the per-pair merged groups + anonymizers. Pure w.r.t. the model (const,
+  /// no member RNG) — the shared workhorse of both the inline EncodePairs
+  /// path and PrepareBatch.
+  void BuildPairGroups(
+      const std::vector<int32_t>& srcs, const std::vector<int32_t>& dsts,
+      const std::vector<double>& ts, uint64_t batch_seed,
+      std::vector<std::vector<graph::TemporalWalk>>* groups,
+      std::vector<graph::CawAnonymizer>* anonymizers) const;
 
   std::unique_ptr<graph::TemporalWalkSampler> sampler_;
   tensor::TimeEncoder time_encoder_;

@@ -1,0 +1,153 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "tensor/numeric.h"
+
+namespace benchtemp::pipeline {
+
+using obs::NowSeconds;
+
+int DepthFromEnv() {
+  const char* env = std::getenv("BENCHTEMP_PIPELINE");
+  if (env == nullptr || env[0] == '\0') return 2;
+  const int parsed = std::atoi(env);
+  if (parsed <= 0) return 0;
+  return std::min(parsed, 8);
+}
+
+BatchPrefetcher::BatchPrefetcher(int64_t num_batches, int depth,
+                                 PrepareFn prepare,
+                                 const std::atomic<bool>* cancel)
+    : num_batches_(num_batches),
+      depth_(std::max(depth, 0)),
+      prepare_(std::move(prepare)),
+      cancel_(cancel) {
+  tensor::CheckOrDie(prepare_ != nullptr, "BatchPrefetcher: null prepare fn");
+  async_ = depth_ > 0 && num_batches_ > 0 &&
+           runtime::ThreadPool::Global().has_workers() &&
+           !runtime::ThreadPool::Global().InWorker();
+  if (!async_) return;
+  slots_.resize(static_cast<size_t>(
+      std::min<int64_t>(depth_, num_batches_)));
+  for (int64_t i = 0; i < static_cast<int64_t>(slots_.size()); ++i) {
+    Schedule(i);
+  }
+}
+
+BatchPrefetcher::~BatchPrefetcher() {
+  if (!async_) return;
+  // Drain: producers always transition kPending -> kReady (even when the
+  // job was canceled), so waiting them out is bounded. Their results are
+  // simply discarded with the prefetcher — never checkpointed.
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [&] {
+    for (const Slot& s : slots_) {
+      if (s.state == SlotState::kPending) return false;
+    }
+    return true;
+  });
+}
+
+void BatchPrefetcher::Schedule(int64_t index) {
+  Slot& slot = slots_[static_cast<size_t>(index % slots_.size())];
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot.state = SlotState::kPending;
+    slot.error = nullptr;
+  }
+  runtime::ThreadPool::Global().Post([this, index] { Produce(index); });
+}
+
+void BatchPrefetcher::Produce(int64_t index) {
+  PreparedBatch batch;
+  std::exception_ptr error;
+  double elapsed = 0.0;
+  // Skip the (possibly expensive) prepare once the job is canceled; the
+  // consumer only checks the cancel token, never the payload, after that.
+  if (!canceled()) {
+    const double start = NowSeconds();
+    try {
+      batch = prepare_(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    elapsed = NowSeconds() - start;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[static_cast<size_t>(index % slots_.size())];
+    slot.batch = std::move(batch);
+    slot.error = error;
+    slot.state = SlotState::kReady;
+    stats_.prepare_seconds += elapsed;
+    // Notify under the lock: the destructor destroys this cv as soon as it
+    // observes no kPending slot, so the publish and the notify must be one
+    // atomic step from its point of view.
+    ready_cv_.notify_all();
+  }
+}
+
+bool BatchPrefetcher::Next(PreparedBatch* out) {
+  if (next_index_ >= num_batches_) return false;
+  const int64_t index = next_index_;
+  if (!async_) {
+    if (canceled()) return false;
+    const double start = NowSeconds();
+    *out = prepare_(index);
+    const double elapsed = NowSeconds() - start;
+    // Synchronous mode: the consumer pays the whole prepare, so the same
+    // time lands on both sides of the overlap ratio (ratio 0).
+    stats_.prepare_seconds += elapsed;
+    stats_.wait_seconds += elapsed;
+    ++stats_.batches;
+    ++next_index_;
+    return true;
+  }
+  std::exception_ptr error;
+  bool was_ready = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Slot& slot = slots_[static_cast<size_t>(index % slots_.size())];
+    was_ready = slot.state == SlotState::kReady;
+    if (!was_ready) {
+      const double start = NowSeconds();
+      while (slot.state != SlotState::kReady) {
+        if (canceled()) return false;
+        // Bounded waits keep the consumer polling the watchdog token, so a
+        // stalled producer cannot outlive the job's deadline.
+        ready_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      }
+      stats_.wait_seconds += NowSeconds() - start;
+    }
+    error = slot.error;
+    *out = std::move(slot.batch);
+    slot.state = SlotState::kEmpty;
+    slot.error = nullptr;
+    ++stats_.batches;
+    if (was_ready) ++stats_.prefetched;
+  }
+  ++next_index_;
+  // Consumer-driven backpressure: freeing slot (index % depth) admits
+  // exactly one more batch into the window.
+  const int64_t upcoming = index + static_cast<int64_t>(slots_.size());
+  if (upcoming < num_batches_ && !canceled()) Schedule(upcoming);
+  if (error) std::rethrow_exception(error);
+  // A producer that saw the cancel token skips the prepare and publishes an
+  // empty payload (index -1); report cancellation instead of handing the
+  // trainer a hollow batch.
+  if (out->index != index) return false;
+  return true;
+}
+
+PipelineStats BatchPrefetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace benchtemp::pipeline

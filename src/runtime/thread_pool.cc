@@ -56,6 +56,24 @@ void ThreadPool::StopWorkers() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   shutdown_ = false;
+  // Workers honor shutdown before draining the async queue, so tasks may
+  // remain; run them inline to keep the exactly-once guarantee of Post().
+  std::deque<std::function<void()>> leftover;
+  leftover.swap(tasks_);
+  for (std::function<void()>& task : leftover) task();
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No asynchrony available; degrade to immediate inline execution.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::SetNumThreads(int num_threads) {
@@ -90,15 +108,28 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     Job* job = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+        return shutdown_ || !tasks_.empty() ||
+               (job_ != nullptr && generation_ != seen_generation);
       });
       if (shutdown_) return;
-      seen_generation = generation_;
-      job = job_;
-      job->entered.fetch_add(1);
+      if (job_ != nullptr && generation_ != seen_generation) {
+        // Blocking Run() callers take priority over background tasks so
+        // ParallelFor latency stays flat while prefetch tasks are queued.
+        seen_generation = generation_;
+        job = job_;
+        job->entered.fetch_add(1);
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     RunChunks(*job);
     {

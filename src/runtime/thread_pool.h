@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -46,6 +47,20 @@ class ThreadPool {
   /// deadlocking on the pool's own capacity.
   bool InWorker() const;
 
+  /// True when the pool owns at least one worker thread (size > 1). Callers
+  /// that need genuine asynchrony (e.g. the batch prefetcher) fall back to
+  /// synchronous execution when this is false.
+  bool has_workers() const { return !workers_.empty(); }
+
+  /// Enqueues a one-off task to run on some worker thread, fire-and-forget.
+  /// Runs the task inline when the pool has no workers. Tasks must not
+  /// throw — capture errors on the caller's side (a throwing task would
+  /// terminate the worker). Workers drain pending Run() chunks with
+  /// priority; posted tasks fill idle capacity. Tasks still queued when the
+  /// workers stop (SetNumThreads / destruction) are executed inline there,
+  /// so every posted task runs exactly once.
+  void Post(std::function<void()> task);
+
   /// Executes chunk_fn(0) ... chunk_fn(num_chunks - 1), each exactly once,
   /// distributed over the pool plus the calling thread. Blocks until every
   /// chunk finished. The first exception thrown by a chunk is rethrown
@@ -73,6 +88,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+  std::deque<std::function<void()>> tasks_;
   Job* job_ = nullptr;
   uint64_t generation_ = 0;
   bool shutdown_ = false;
