@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "pipeline/pipeline.h"
 #include "robustness/checkpoint.h"
+#include "robustness/lineage.h"
 #include "robustness/fault_injector.h"
 #include "tensor/kernels/arena.h"
 #include "tensor/optimizer.h"
@@ -256,10 +257,12 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
   const std::vector<Var> params = model->Parameters();
   const bool checkpointing =
       model->trainable() && !tc.checkpoint_path.empty();
-  // The checkpoint only outlives the job when the job dies mid-flight; any
-  // terminal exit (success, "*", "x") retires it.
+  robustness::CheckpointLineage lineage(tc.checkpoint_path,
+                                        tc.checkpoint_generations);
+  // The checkpoint lineage only outlives the job when the job dies
+  // mid-flight; any terminal exit (success, "*", "x") retires it.
   auto retire_checkpoint = [&] {
-    if (checkpointing) std::remove(tc.checkpoint_path.c_str());
+    if (checkpointing) (void)lineage.Remove();
   };
 
   // Parameters at the monitor's best epoch; restored before the test pass
@@ -313,8 +316,11 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
   // it died instead of from scratch.
   if (checkpointing) {
     robustness::JobCheckpoint ckpt;
-    if (robustness::LoadJobCheckpoint(tc.checkpoint_path, &ckpt) &&
-        ckpt.seed == tc.seed && restore_from(ckpt)) {
+    // A corrupt newest generation silently falls back to an older one (the
+    // skip is counted in robustness.ckpt_fallbacks); a seed mismatch means
+    // a different job left these files behind, so start fresh.
+    if (lineage.Load(&ckpt).ok && ckpt.seed == tc.seed &&
+        restore_from(ckpt)) {
       epoch = ckpt.next_epoch;
       epochs_run = ckpt.epochs_run;
       nan_retries = ckpt.nan_retries;
@@ -502,8 +508,7 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
         rollback.total_epoch_seconds = total_epoch_seconds;
         rollback.retried_epoch_seconds = retried_epoch_seconds;
         int64_t bytes = 0;
-        if (robustness::SaveJobCheckpoint(tc.checkpoint_path, rollback,
-                                          &bytes)) {
+        if (lineage.Save(rollback, &bytes)) {
           checkpoint_bytes = bytes;
         }
       }

@@ -41,12 +41,17 @@ struct TrainConfig {
   /// (non-convergence) instead of aborting the sweep.
   int max_nan_retries = 3;
   float lr_backoff = 0.5f;
-  /// Job checkpoint path; "" disables on-disk checkpointing. When the file
-  /// exists and matches this job's seed, training resumes from it and
-  /// replays the exact trajectory an uninterrupted run would have taken.
-  /// The file is written atomically at every epoch boundary and removed
-  /// when the job completes.
+  /// Job checkpoint base path; "" disables on-disk checkpointing. When a
+  /// valid generation exists and matches this job's seed, training resumes
+  /// from it and replays the exact trajectory an uninterrupted run would
+  /// have taken. Generations (`<path>.g<seq>` plus a `<path>.lineage`
+  /// manifest) are written atomically at every epoch boundary and all
+  /// removed when the job completes; a corrupt newest generation falls
+  /// back to the next one (losing at most that epoch of progress).
   std::string checkpoint_path;
+  /// Checkpoint generations retained per job (>= 1). More generations
+  /// survive more independent corruption events at the cost of disk.
+  int checkpoint_generations = 3;
   /// Cooperative cancellation (a watchdog's deadline flag), polled at
   /// batch boundaries; when it goes true the job winds down with the "x"
   /// annotation. Non-owning; may be null.

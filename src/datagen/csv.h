@@ -1,7 +1,9 @@
 #ifndef BENCHTEMP_DATAGEN_CSV_H_
 #define BENCHTEMP_DATAGEN_CSV_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/temporal_graph.h"
 
@@ -32,6 +34,64 @@ struct CsvError {
 bool LoadCsv(const std::string& path, graph::TemporalGraph* graph,
              CsvError* error);
 bool LoadCsv(const std::string& path, graph::TemporalGraph* graph);
+
+/// Structured ingest diagnostic of the hardened loader: which file, which
+/// 1-based line (0 for file-level problems), and why the row was rejected.
+struct LoadError {
+  std::string file;
+  int64_t line = 0;
+  std::string reason;
+
+  /// "file:line: reason" (or "file: reason" for file-level problems).
+  std::string str() const;
+};
+
+/// Hostile-input policy of LoadCsvStrict / RepairCsv. Everything the
+/// lenient loader already rejects (malformed numbers, negative ids,
+/// non-finite timestamps or features) stays rejected regardless of these
+/// flags; the options add the stream-level invariants a temporal-graph
+/// pipeline depends on.
+struct CsvOptions {
+  /// Reject a timestamp smaller than its predecessor's (the event stream
+  /// must be chronological; the lenient loader silently re-sorts instead).
+  bool reject_unsorted = true;
+  /// Reject an event identical to its predecessor in (src, dst, ts).
+  bool reject_duplicates = true;
+  /// Reject src == dst events.
+  bool reject_self_loops = true;
+  /// Reject a file whose final line is torn (no trailing newline) — the
+  /// signature of a truncated download or a crashed writer.
+  bool reject_truncated = true;
+};
+
+/// Hardened loader: everything LoadCsv validates plus the CsvOptions
+/// stream invariants, with structured diagnostics. Returns false on the
+/// first violation; `error` (may be null) receives file, line, and reason.
+/// When `reject_unsorted` is disabled the stream is re-sorted like the
+/// lenient loader; otherwise the input order is kept as-is.
+bool LoadCsvStrict(const std::string& path, const CsvOptions& options,
+                   graph::TemporalGraph* graph, LoadError* error);
+
+/// Outcome of RepairCsv.
+struct CsvRepairReport {
+  int64_t rows_kept = 0;
+  int64_t rows_quarantined = 0;
+  /// One entry per dropped row (same order as the quarantine file).
+  std::vector<LoadError> quarantined;
+};
+
+/// Repair mode: streams `path`, keeps every row that passes the
+/// LoadCsvStrict checks, and writes the survivors verbatim to
+/// `cleaned_path` (same header). Dropped rows go to `quarantine_path` as
+/// `q|<line>|<reason>|<original row>` lines under a `btquarantine|1`
+/// header, and each drop increments the obs counter csv.rows_quarantined.
+/// Returns false only on I/O failure or an unusable header (reported via
+/// `error`); hostile rows never fail the repair — removing them is its
+/// job. The cleaned copy is guaranteed to satisfy LoadCsvStrict.
+bool RepairCsv(const std::string& path, const CsvOptions& options,
+               const std::string& cleaned_path,
+               const std::string& quarantine_path, CsvRepairReport* report,
+               LoadError* error);
 
 }  // namespace benchtemp::datagen
 

@@ -19,7 +19,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "nan.rollbacks",        "watchdog.fires",       "checkpoint.writes",
     "checkpoint.bytes",     "sweep.jobs_run",       "sweep.jobs_replayed",
     "sweep.jobs_failed",    "kernels.flops",        "arena.bytes",
-    "arena.resets",
+    "arena.resets",         "robustness.ckpt_fallbacks", "io.retries",
+    "csv.rows_quarantined",
 };
 
 /// -1 = derive from the environment; 0/1 = forced by a test.

@@ -63,8 +63,11 @@ enum class Counter : int {
   kKernelFlops,         // flops executed by src/tensor/kernels entry points
   kArenaBytes,          // bytes bump-allocated from tape-scoped arenas
   kArenaResets,         // TapeScope rewinds (one per completed batch scope)
+  kCheckpointFallbacks, // corrupt generations skipped during lineage load
+  kIoRetries,           // RetryPolicy re-attempts of durable writes
+  kCsvQuarantined,      // hostile CSV rows dropped by the repair loader
 };
-inline constexpr int kNumCounters = 16;
+inline constexpr int kNumCounters = 19;
 
 /// Stable dotted name of a counter ("train.batches", ...).
 const char* CounterName(Counter counter);

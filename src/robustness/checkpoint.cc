@@ -2,11 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
+#include "io/file.h"
 #include "obs/metrics.h"
-#include "robustness/fault_injector.h"
 
 namespace benchtemp::robustness {
 
@@ -14,15 +13,6 @@ namespace {
 
 constexpr char kMagic[4] = {'B', 'T', 'J', 'C'};
 constexpr uint32_t kVersion = 2;  // v2: + retried_epoch_seconds
-
-uint64_t Fnv1a(const std::string& bytes) {
-  uint64_t hash = 1469598103934665603ull;
-  for (char c : bytes) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -50,41 +40,24 @@ bool ReadBlob(std::istream& in, std::string* blob) {
 
 }  // namespace
 
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 bool AtomicWriteFile(const std::string& path, const std::string& payload) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  // The crash window the atomic protocol defends: temp file durable, final
-  // name not yet swung. An injected fault here must leave `path` intact.
-  if (FaultInjector::Global().Fire(FaultSite::kCheckpointRename)) {
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return io::AtomicReplace(path, payload, io::FileKind::kCheckpoint);
 }
 
 bool ReadFile(const std::string& path, std::string* payload) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *payload = buffer.str();
-  return true;
+  return io::ReadFileBytes(path, payload);
 }
 
-bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt,
-                       int64_t* bytes_out) {
+std::string SerializeJobCheckpoint(const JobCheckpoint& ckpt) {
   std::ostringstream body(std::ios::binary);
   body.write(kMagic, sizeof(kMagic));
   WritePod(body, kVersion);
@@ -108,8 +81,14 @@ bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt,
   WriteBlob(body, ckpt.adam);
   WriteBlob(body, ckpt.best_params);
   std::string payload = body.str();
-  const uint64_t checksum = Fnv1a(payload);
+  const uint64_t checksum = Fnv1a64(payload);
   payload.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return payload;
+}
+
+bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt,
+                       int64_t* bytes_out) {
+  const std::string payload = SerializeJobCheckpoint(ckpt);
   if (!AtomicWriteFile(path, payload)) return false;
   if (bytes_out != nullptr) *bytes_out = static_cast<int64_t>(payload.size());
   auto& registry = obs::MetricRegistry::Global();
@@ -119,15 +98,13 @@ bool SaveJobCheckpoint(const std::string& path, const JobCheckpoint& ckpt,
   return true;
 }
 
-bool LoadJobCheckpoint(const std::string& path, JobCheckpoint* out) {
-  std::string payload;
-  if (!ReadFile(path, &payload)) return false;
-  if (payload.size() < sizeof(uint64_t)) return false;
+bool ParseJobCheckpoint(const std::string& container, JobCheckpoint* out) {
+  if (container.size() < sizeof(uint64_t)) return false;
   uint64_t stored = 0;
-  std::memcpy(&stored, payload.data() + payload.size() - sizeof(stored),
+  std::memcpy(&stored, container.data() + container.size() - sizeof(stored),
               sizeof(stored));
-  payload.resize(payload.size() - sizeof(stored));
-  if (Fnv1a(payload) != stored) return false;
+  std::string payload = container.substr(0, container.size() - sizeof(stored));
+  if (Fnv1a64(payload) != stored) return false;
 
   std::istringstream in(payload, std::ios::binary);
   char magic[4];
@@ -157,6 +134,12 @@ bool LoadJobCheckpoint(const std::string& path, JobCheckpoint* out) {
   if (!ReadBlob(in, &ckpt.best_params)) return false;
   *out = std::move(ckpt);
   return true;
+}
+
+bool LoadJobCheckpoint(const std::string& path, JobCheckpoint* out) {
+  std::string container;
+  if (!ReadFile(path, &container)) return false;
+  return ParseJobCheckpoint(container, out);
 }
 
 }  // namespace benchtemp::robustness

@@ -8,19 +8,25 @@
 
 namespace benchtemp::robustness {
 
-/// Atomically replaces the file at `path` with `payload`: the bytes are
-/// written to `path + ".tmp"`, flushed, and renamed over `path`, so a crash
-/// at any instant leaves either the complete old file or the complete new
-/// file — never a torn one. Returns false on I/O failure (the previous
-/// file, if any, is untouched).
+/// Atomically replaces the file at `path` with `payload`. Thin wrapper over
+/// io::AtomicReplace with FileKind::kCheckpoint: tmp write + fsync + rename
+/// + parent-dir fsync, so a crash at any instant leaves either the complete
+/// old file or the complete new file — never a torn one. Returns false on
+/// I/O failure (the previous file, if any, is untouched).
 ///
 /// Probes FaultSite::kCheckpointRename between write and rename, which lets
-/// the fault-injection tests simulate a kill mid-checkpoint.
+/// the fault-injection tests simulate a kill mid-checkpoint, plus the
+/// silent-corruption sites torn_checkpoint / bitflip_checkpoint.
 bool AtomicWriteFile(const std::string& path, const std::string& payload);
 
 /// Reads a whole file into `payload`. Returns false when the file cannot be
 /// opened.
 bool ReadFile(const std::string& path, std::string* payload);
+
+/// FNV-1a 64-bit hash — the integrity checksum of the checkpoint container
+/// and the lineage manifest (exposed so btfsck and the tests can verify
+/// files without loading them).
+uint64_t Fnv1a64(const std::string& bytes);
 
 /// A full training-job checkpoint: everything RunLinkPrediction needs to
 /// continue from an epoch boundary exactly as an uninterrupted run would.
@@ -68,6 +74,15 @@ struct JobCheckpoint {
   std::string adam;          // optimizer moments (Adam::SnapshotState)
   std::string best_params;   // best-epoch parameters; empty if none yet
 };
+
+/// Serializes `ckpt` into the self-validating BTJC container (trailing
+/// FNV-1a checksum included).
+std::string SerializeJobCheckpoint(const JobCheckpoint& ckpt);
+
+/// Parses and verifies a BTJC container (as produced by
+/// SerializeJobCheckpoint). Returns false (out untouched) when the payload
+/// is corrupt, truncated, or of an unknown version.
+bool ParseJobCheckpoint(const std::string& payload, JobCheckpoint* out);
 
 /// Serializes `ckpt` and writes it atomically. Returns false on I/O
 /// failure (including an injected crash before the rename). On success

@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 
+#include "tensor/random.h"
+
 namespace benchtemp::robustness {
 
 namespace {
@@ -19,6 +21,18 @@ bool ParseSiteName(const std::string& name, FaultSite* site) {
     *site = FaultSite::kStallBatch;
   } else if (name == "crash_checkpoint") {
     *site = FaultSite::kCheckpointRename;
+  } else if (name == "short_write") {
+    *site = FaultSite::kShortWrite;
+  } else if (name == "eio_write") {
+    *site = FaultSite::kEioWrite;
+  } else if (name == "eio_fsync") {
+    *site = FaultSite::kEioFsync;
+  } else if (name == "torn_checkpoint") {
+    *site = FaultSite::kTornCheckpoint;
+  } else if (name == "bitflip_checkpoint") {
+    *site = FaultSite::kBitflipCheckpoint;
+  } else if (name == "eio_manifest") {
+    *site = FaultSite::kEioManifest;
   } else {
     return false;
   }
@@ -37,6 +51,18 @@ const char* FaultSiteName(FaultSite site) {
       return "stall_batch";
     case FaultSite::kCheckpointRename:
       return "crash_checkpoint";
+    case FaultSite::kShortWrite:
+      return "short_write";
+    case FaultSite::kEioWrite:
+      return "eio_write";
+    case FaultSite::kEioFsync:
+      return "eio_fsync";
+    case FaultSite::kTornCheckpoint:
+      return "torn_checkpoint";
+    case FaultSite::kBitflipCheckpoint:
+      return "bitflip_checkpoint";
+    case FaultSite::kEioManifest:
+      return "eio_manifest";
   }
   return "?";
 }
@@ -90,7 +116,7 @@ bool FaultInjector::Configure(const std::string& spec) {
       ok = false;
       continue;
     }
-    // step[:count[:stall_ms]]
+    // step[:count[:stall_ms[:seed]]]
     std::string rest = entry.substr(at + 1);
     char* cursor = nullptr;
     parsed.at_step = std::strtol(rest.c_str(), &cursor, 10);
@@ -114,12 +140,20 @@ bool FaultInjector::Configure(const std::string& spec) {
         continue;
       }
     }
+    if (*cursor == ':') {
+      const char* start = cursor + 1;
+      parsed.seed = std::strtoull(start, &cursor, 10);
+      if (cursor == start) {
+        ok = false;
+        continue;
+      }
+    }
     Arm(site, parsed);
   }
   return ok;
 }
 
-bool FaultInjector::Fire(FaultSite site) {
+bool FaultInjector::Fire(FaultSite site, uint64_t* seed_out) {
   bool kill = false;
   bool fired = false;
   {
@@ -132,6 +166,10 @@ bool FaultInjector::Fire(FaultSite site) {
       fired = true;
       ++fires_[i];
       kill = spec.kill_process;
+      if (seed_out != nullptr) {
+        *seed_out =
+            tensor::SplitMix64(spec.seed, static_cast<uint64_t>(step));
+      }
     }
   }
   if (fired && kill) {

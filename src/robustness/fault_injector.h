@@ -21,8 +21,25 @@ enum class FaultSite {
   /// Fail a checkpoint between temp-file write and rename (probed once per
   /// atomic file commit) — the old checkpoint must survive.
   kCheckpointRename,
+  /// io::File::Write commits only a prefix of the buffer (probed once per
+  /// Write call) — the checked-I/O path must latch failure.
+  kShortWrite,
+  /// io::File::Write reports EIO without writing (probed once per Write).
+  kEioWrite,
+  /// io::File::Sync reports EIO (probed once per Sync).
+  kEioFsync,
+  /// AtomicReplace of a checkpoint commits a payload truncated at a seeded
+  /// offset and REPORTS SUCCESS — silent torn-write corruption that only
+  /// the checksum (and lineage fallback) can catch.
+  kTornCheckpoint,
+  /// AtomicReplace of a checkpoint flips one seeded byte and REPORTS
+  /// SUCCESS — silent bit rot.
+  kBitflipCheckpoint,
+  /// io::File::Write on a manifest-kind file reports EIO (probed once per
+  /// manifest Write) — exercises the manifest retry path.
+  kEioManifest,
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 10;
 
 /// Human-readable site name ("nan_loss", ...).
 const char* FaultSiteName(FaultSite site);
@@ -35,6 +52,10 @@ struct FaultSpec {
   int64_t count = 1;
   /// kStallBatch only: milliseconds to sleep when firing.
   int64_t stall_ms = 0;
+  /// Corruption sites only: base seed of the SplitMix64 stream that picks
+  /// the torn offset / flipped byte, so every injected corruption is
+  /// reproducible from the spec string.
+  uint64_t seed = 0;
   /// When true the process exits hard (_exit(137), SIGKILL-like) instead of
   /// reporting the fault — used to prove crash-consistency of on-disk
   /// state. Applied only where a real crash is survivable by design.
@@ -49,9 +70,11 @@ struct FaultSpec {
 ///
 ///   BENCHTEMP_FAULTS="nan_loss@40;stall_batch@5:3:200;crash_checkpoint@1"
 ///
-/// Grammar per ';'-separated entry: `site@step[:count[:stall_ms]]`, with an
-/// optional `!kill` suffix for a hard process exit. Sites: nan_loss,
-/// throw_forward, stall_batch, crash_checkpoint.
+/// Grammar per ';'-separated entry: `site@step[:count[:stall_ms[:seed]]]`,
+/// with an optional `!kill` suffix for a hard process exit. Sites:
+/// nan_loss, throw_forward, stall_batch, crash_checkpoint, short_write,
+/// eio_write, eio_fsync, torn_checkpoint, bitflip_checkpoint,
+/// eio_manifest.
 ///
 /// All probes are thread-safe; per-site probe counters are global to the
 /// process (matching "inject at step k of the run").
@@ -70,8 +93,11 @@ class FaultInjector {
 
   /// Probes `site`: increments its counter and reports whether the fault
   /// fires at this step. When the matching spec has kill_process set, the
-  /// process exits hard instead of returning.
-  bool Fire(FaultSite site);
+  /// process exits hard instead of returning. When the fault fires and
+  /// `seed_out` is non-null it receives SplitMix64(spec.seed, probe step) —
+  /// the deterministic per-firing stream the corruption sites draw their
+  /// offsets from.
+  bool Fire(FaultSite site, uint64_t* seed_out = nullptr);
 
   /// Stall duration of the most recently armed kStallBatch spec.
   int64_t stall_ms() const;

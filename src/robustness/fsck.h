@@ -1,0 +1,51 @@
+#ifndef BENCHTEMP_ROBUSTNESS_FSCK_H_
+#define BENCHTEMP_ROBUSTNESS_FSCK_H_
+
+#include <string>
+#include <vector>
+
+namespace benchtemp::robustness {
+
+/// One problem found by FsckDirectory.
+struct FsckIssue {
+  std::string path;    // offending file (or manifest)
+  std::string reason;  // "corrupt container", "manifest checksum mismatch"...
+};
+
+/// Result of scanning a checkpoint+manifest directory.
+struct FsckReport {
+  int lineages = 0;        // lineage manifests found
+  int generations = 0;     // generation files examined
+  int corrupt = 0;         // generations (or manifests) that failed a check
+  int orphans = 0;         // generation files no manifest references
+  int stale_tmps = 0;      // leftover .tmp files from interrupted commits
+  int repaired = 0;        // files removed / manifests rewritten by repair
+  int unrecoverable = 0;   // lineages left with zero valid generations
+  std::vector<FsckIssue> issues;
+
+  /// True when every lineage has at least one valid generation and no
+  /// corruption was found (stale tmps and orphans alone do not fail a
+  /// verify — they are what a crash legitimately leaves behind).
+  bool clean() const { return corrupt == 0 && unrecoverable == 0; }
+};
+
+/// Offline integrity check of every checkpoint lineage under `dir`
+/// (non-recursive): each `*.lineage` manifest must parse, every listed
+/// generation must exist with the recorded size and checksum and must be a
+/// valid BTJC container, and orphaned `.g<seq>` / `.tmp` files are
+/// reported. Orphan generations are validated by their own container
+/// checksum. A lineage whose generations are all corrupt counts as
+/// unrecoverable.
+///
+/// With `repair` set, corrupt generation files and stale `.tmp` files are
+/// deleted and each manifest is rewritten to list exactly the surviving
+/// valid generations (orphans get adopted). An unrecoverable lineage is
+/// left untouched for post-mortem.
+FsckReport FsckDirectory(const std::string& dir, bool repair);
+
+/// Renders the report in the stable text format `btfsck` prints.
+std::string FormatFsckReport(const FsckReport& report);
+
+}  // namespace benchtemp::robustness
+
+#endif  // BENCHTEMP_ROBUSTNESS_FSCK_H_

@@ -1,0 +1,42 @@
+#include "robustness/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "tensor/random.h"
+
+namespace benchtemp::robustness {
+
+int64_t RetryPolicy::BackoffMs(int attempt) const {
+  if (attempt < 1) return 0;
+  double backoff = static_cast<double>(base_backoff_ms);
+  for (int k = 1; k < attempt; ++k) backoff *= multiplier;
+  int64_t ms = static_cast<int64_t>(backoff);
+  ms = std::min(ms, max_backoff_ms);
+  const uint64_t stream =
+      tensor::SplitMix64(seed, static_cast<uint64_t>(attempt));
+  const int64_t jitter =
+      base_backoff_ms > 0
+          ? static_cast<int64_t>(stream % static_cast<uint64_t>(
+                                              base_backoff_ms + 1))
+          : 0;
+  return ms + jitter;
+}
+
+bool RetryPolicy::Run(const std::function<bool()>& op) const {
+  const int attempts = std::max(1, max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (op()) return true;
+    if (attempt == attempts) break;
+    obs::MetricRegistry::Global().Add(obs::Counter::kIoRetries, 1);
+    const int64_t ms = BackoffMs(attempt);
+    if (ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
+  return false;
+}
+
+}  // namespace benchtemp::robustness

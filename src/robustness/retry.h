@@ -1,0 +1,42 @@
+#ifndef BENCHTEMP_ROBUSTNESS_RETRY_H_
+#define BENCHTEMP_ROBUSTNESS_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace benchtemp::robustness {
+
+/// Deterministic bounded retry with exponential backoff and seeded jitter.
+///
+/// Transient I/O failures (EIO from a flaky disk, an injected eio_manifest
+/// fault) should not abort a multi-day sweep, but unbounded or wall-clock
+/// randomized retries would break both determinism and CI budgets. The
+/// policy is a pure function of (spec, attempt index, seed): attempt k
+/// sleeps `min(base * multiplier^k, max) + jitter_k` milliseconds where
+/// jitter_k is SplitMix64-derived — no clock reads, no global RNG — so a
+/// replayed run retries at the same simulated schedule.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retry).
+  int max_attempts = 3;
+  /// Backoff before the first retry, in milliseconds.
+  int64_t base_backoff_ms = 1;
+  /// Backoff growth per retry.
+  double multiplier = 2.0;
+  /// Backoff cap per retry, in milliseconds.
+  int64_t max_backoff_ms = 50;
+  /// Jitter stream seed; jitter is in [0, base_backoff_ms] ms.
+  uint64_t seed = 0;
+
+  /// Backoff (including jitter) before retry `attempt` (1-based: the sleep
+  /// taken after attempt `attempt` failed). Pure; exposed for tests.
+  int64_t BackoffMs(int attempt) const;
+
+  /// Runs `op` up to max_attempts times, sleeping BackoffMs between tries.
+  /// Returns true on the first success. Each re-attempt increments the
+  /// obs counter `io.retries`.
+  bool Run(const std::function<bool()>& op) const;
+};
+
+}  // namespace benchtemp::robustness
+
+#endif  // BENCHTEMP_ROBUSTNESS_RETRY_H_

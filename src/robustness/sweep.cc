@@ -8,7 +8,10 @@
 #include <sstream>
 #include <utility>
 
+#include "io/file.h"
 #include "obs/metrics.h"
+#include "robustness/checkpoint.h"
+#include "robustness/retry.h"
 #include "robustness/watchdog.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
@@ -119,11 +122,27 @@ bool SweepManifest::Commit(const SweepJobResult& result) {
                 result.key.c_str(), result.records.size(),
                 result.failed ? 1 : 0, result.failure_reason.c_str());
   lines += done;
-  std::ofstream out(path_, std::ios::app);
-  if (!out) return false;
-  out.write(lines.data(), static_cast<std::streamsize>(lines.size()));
-  out.flush();
-  if (!out) return false;
+  // Transient failures (an injected eio_manifest, a blip of a networked
+  // filesystem) retry with deterministic backoff; a partially appended
+  // block is tolerated because Load() discards any key whose rec count
+  // disagrees with its done line — the job merely reruns.
+  const RetryPolicy retry{/*max_attempts=*/3, /*base_backoff_ms=*/1,
+                          /*multiplier=*/2.0, /*max_backoff_ms=*/50,
+                          /*seed=*/Fnv1a64(result.key)};
+  const bool committed = retry.Run([&] {
+    io::File out;
+    if (!out.OpenAppend(path_, io::FileKind::kManifest)) return false;
+    if (!out.Write(lines)) {
+      (void)out.Close();
+      return false;
+    }
+    if (!out.Sync()) {
+      (void)out.Close();
+      return false;
+    }
+    return out.Close();
+  });
+  if (!committed) return false;
   completed_[result.key] = result;
   return true;
 }

@@ -2,6 +2,7 @@
 // rule, each silenced by a targeted allow comment. Expected finding count: 0.
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <unordered_map>
@@ -53,6 +54,10 @@ double TimingAllowed() {
   const auto now =
       std::chrono::steady_clock::now();  // btlint: allow(adhoc-timing)
   return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+void IoAllowed(std::FILE* f) {
+  std::fclose(f);  // btlint: allow(unchecked-io)
 }
 
 }  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: unchecked-io — raw stdio/POSIX durability calls whose results
+// are discarded at statement position. Expected findings: 4 (fwrite,
+// fclose, rename, fsync); the checked/qualified/member uses are clean.
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include <unistd.h>
+
+namespace fixture {
+
+void IgnoredResults(std::FILE* f, int fd, const char* buf, size_t n) {
+  std::fwrite(buf, 1, n, f);
+  std::fclose(f);
+  rename("ckpt.tmp", "ckpt");
+  fsync(fd);
+}
+
+bool CheckedResults(std::FILE* f, int fd, const char* buf, size_t n) {
+  if (std::fwrite(buf, 1, n, f) != n) return false;
+  const bool flushed = fsync(fd) == 0;
+  const int renamed = std::rename("ckpt.tmp", "ckpt");
+  (void)std::fclose(f);
+  return flushed && renamed == 0;
+}
+
+struct Journal {
+  void rename(const char* to);
+};
+
+void MemberAndQualified(Journal& j, const char* a, const char* b) {
+  namespace fs = std::filesystem;
+  j.rename(a);  // member call: a different function, result may be void
+  std::error_code ec;
+  fs::rename(a, b, ec);  // non-std qualification reports through ec
+}
+
+}  // namespace fixture

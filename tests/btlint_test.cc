@@ -46,9 +46,9 @@ std::multiset<std::string> RuleIds(const std::vector<Finding>& findings) {
   return ids;
 }
 
-TEST(BtlintCatalogTest, ElevenRulesWithUniqueIds) {
+TEST(BtlintCatalogTest, TwelveRulesWithUniqueIds) {
   const auto& rules = btlint::Rules();
-  EXPECT_EQ(rules.size(), 11u);
+  EXPECT_EQ(rules.size(), 12u);
   std::set<std::string> ids;
   for (const auto& r : rules) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
@@ -191,6 +191,25 @@ TEST(BtlintRuleTest, HotLoopAtScopedToKernelDir) {
       LintFile("src/tensor/shape_utils.cc",
                ReadFixture("src/tensor/kernels/hot_loop_at.cc"));
   EXPECT_EQ(RuleIds(findings).count("hot-loop-at"), 0u);
+}
+
+TEST(BtlintRuleTest, UncheckedIoFires) {
+  const auto findings = LintFixture("src/unchecked_io.cc");
+  const auto ids = RuleIds(findings);
+  // Statement-position fwrite, fclose, rename, fsync; the checked,
+  // (void)-cast, member, and fs::-qualified uses in the fixture are clean.
+  EXPECT_EQ(ids.count("unchecked-io"), 4u);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(BtlintRuleTest, UncheckedIoExemptsIoLayerAndTests) {
+  // src/io/file.* is the one place allowed to touch raw stdio, and test
+  // code is out of scope entirely.
+  const std::string source = ReadFixture("src/unchecked_io.cc");
+  EXPECT_EQ(RuleIds(LintFile("src/io/file.cc", source)).count("unchecked-io"),
+            0u);
+  EXPECT_EQ(RuleIds(LintFile("tests/io_test.cc", source)).count("unchecked-io"),
+            0u);
 }
 
 TEST(BtlintSuppressionTest, HotLoopAtAllowEscape) {

@@ -1,0 +1,415 @@
+// Tests of the checked I/O shim (src/io), the deterministic retry policy,
+// and the offline fsck pass — the plumbing under DESIGN.md "Failure model
+// v2". Fault injection drives every simulated disk failure; each test
+// leaves the process-wide injector disarmed.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/file.h"
+#include "robustness/checkpoint.h"
+#include "robustness/fault_injector.h"
+#include "robustness/fsck.h"
+#include "robustness/lineage.h"
+#include "robustness/retry.h"
+
+namespace benchtemp {
+namespace {
+
+namespace fs = std::filesystem;
+
+using io::AtomicReplace;
+using io::File;
+using io::FileKind;
+using io::ReadFileBytes;
+using robustness::CheckpointLineage;
+using robustness::FaultInjector;
+using robustness::FaultSite;
+using robustness::FaultSpec;
+using robustness::FsckDirectory;
+using robustness::FsckReport;
+using robustness::JobCheckpoint;
+using robustness::RetryPolicy;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+std::string TempPath(const std::string& name) {
+  return "/tmp/benchtemp_io_" + name;
+}
+
+FaultSpec AtStep(int step, int count = 1) {
+  FaultSpec spec;
+  spec.at_step = step;
+  spec.count = count;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// io::File basics
+
+TEST_F(IoTest, WriteSyncCloseRoundTrip) {
+  const std::string path = TempPath("roundtrip.bin");
+  File f;
+  ASSERT_TRUE(f.OpenWrite(path));
+  EXPECT_TRUE(f.Write(std::string("hello ")));
+  EXPECT_TRUE(f.Write("world", 5));
+  EXPECT_TRUE(f.Sync());
+  EXPECT_TRUE(f.Close());
+  EXPECT_FALSE(f.is_open());
+
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes));
+  EXPECT_EQ(bytes, "hello world");
+
+  File append;
+  ASSERT_TRUE(append.OpenAppend(path));
+  EXPECT_TRUE(append.Write(std::string("!")));
+  EXPECT_TRUE(append.Close());
+  ASSERT_TRUE(ReadFileBytes(path, &bytes));
+  EXPECT_EQ(bytes, "hello world!");
+  unlink(path.c_str());
+}
+
+TEST_F(IoTest, OpenFailureIsReported) {
+  File f;
+  EXPECT_FALSE(f.OpenWrite("/nonexistent-dir-zzz/file.bin"));
+  EXPECT_FALSE(f.is_open());
+  std::string bytes;
+  EXPECT_FALSE(ReadFileBytes("/nonexistent-dir-zzz/file.bin", &bytes));
+}
+
+TEST_F(IoTest, RemoveFileTreatsMissingAsSuccess) {
+  const std::string path = TempPath("removable.bin");
+  { std::ofstream out(path); out << "x"; }
+  EXPECT_TRUE(io::RemoveFile(path));
+  EXPECT_TRUE(io::RemoveFile(path));  // already gone
+}
+
+// ---------------------------------------------------------------------------
+// Injected write failures latch and are observable at Close()
+
+TEST_F(IoTest, ShortWriteLatchesFailure) {
+  FaultInjector::Global().Arm(FaultSite::kShortWrite, AtStep(0));
+  const std::string path = TempPath("short.bin");
+  File f;
+  ASSERT_TRUE(f.OpenWrite(path));
+  EXPECT_FALSE(f.Write(std::string("0123456789")));
+  EXPECT_FALSE(f.ok());
+  // Latched: later writes are no-ops, Close reports the failure once.
+  EXPECT_FALSE(f.Write(std::string("more")));
+  EXPECT_FALSE(f.Close());
+  unlink(path.c_str());
+}
+
+TEST_F(IoTest, EioOnWriteAndFsyncFail) {
+  const std::string path = TempPath("eio.bin");
+  {
+    FaultInjector::Global().Arm(FaultSite::kEioWrite, AtStep(0));
+    File f;
+    ASSERT_TRUE(f.OpenWrite(path));
+    EXPECT_FALSE(f.Write(std::string("payload")));
+    EXPECT_FALSE(f.Close());
+  }
+  FaultInjector::Global().DisarmAll();
+  {
+    FaultInjector::Global().Arm(FaultSite::kEioFsync, AtStep(0));
+    File f;
+    ASSERT_TRUE(f.OpenWrite(path));
+    EXPECT_TRUE(f.Write(std::string("payload")));
+    EXPECT_FALSE(f.Sync());
+    EXPECT_FALSE(f.Close());
+  }
+  unlink(path.c_str());
+}
+
+TEST_F(IoTest, EioManifestScopedToManifestKind) {
+  FaultSpec spec = AtStep(0, 1 << 20);
+  FaultInjector::Global().Arm(FaultSite::kEioManifest, spec);
+
+  // Checkpoint-kind writes are untouched by the manifest fault site.
+  const std::string ckpt = TempPath("scoped.ckpt");
+  File a;
+  ASSERT_TRUE(a.OpenWrite(ckpt, FileKind::kCheckpoint));
+  EXPECT_TRUE(a.Write(std::string("checkpoint bytes")));
+  EXPECT_TRUE(a.Close());
+
+  const std::string manifest = TempPath("scoped.manifest");
+  File b;
+  ASSERT_TRUE(b.OpenAppend(manifest, FileKind::kManifest));
+  EXPECT_FALSE(b.Write(std::string("journal line\n")));
+  EXPECT_FALSE(b.Close());
+  unlink(ckpt.c_str());
+  unlink(manifest.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// AtomicReplace: torn and bit-flipped commits are silent by design
+
+TEST_F(IoTest, TornCheckpointCommitsTruncatedBytesSilently) {
+  const std::string path = TempPath("torn.ckpt");
+  ASSERT_TRUE(AtomicReplace(path, "old generation", FileKind::kCheckpoint));
+
+  FaultSpec spec = AtStep(0);  // Arm resets the probe clock
+  spec.seed = 99;
+  FaultInjector::Global().Arm(FaultSite::kTornCheckpoint, spec);
+  const std::string intended(256, 'G');
+  // Reports success: the whole point is that only a checksum catches it.
+  EXPECT_TRUE(AtomicReplace(path, intended, FileKind::kCheckpoint));
+
+  std::string committed;
+  ASSERT_TRUE(ReadFileBytes(path, &committed));
+  EXPECT_LT(committed.size(), intended.size());
+  EXPECT_NE(robustness::Fnv1a64(committed), robustness::Fnv1a64(intended));
+  unlink(path.c_str());
+}
+
+TEST_F(IoTest, BitflipCheckpointPreservesSizeButNotChecksum) {
+  const std::string path = TempPath("bitflip.ckpt");
+  FaultSpec spec = AtStep(0);
+  spec.seed = 1234;
+  FaultInjector::Global().Arm(FaultSite::kBitflipCheckpoint, spec);
+  const std::string intended(256, 'G');
+  EXPECT_TRUE(AtomicReplace(path, intended, FileKind::kCheckpoint));
+
+  std::string committed;
+  ASSERT_TRUE(ReadFileBytes(path, &committed));
+  ASSERT_EQ(committed.size(), intended.size());
+  EXPECT_NE(committed, intended);
+  // Exactly one bit differs.
+  int bit_diffs = 0;
+  for (size_t i = 0; i < committed.size(); ++i) {
+    unsigned char x = static_cast<unsigned char>(committed[i] ^ intended[i]);
+    while (x != 0) {
+      bit_diffs += x & 1;
+      x >>= 1;
+    }
+  }
+  EXPECT_EQ(bit_diffs, 1);
+  unlink(path.c_str());
+}
+
+TEST_F(IoTest, GenericAndManifestKindsNeverProbeCheckpointCorruption) {
+  FaultSpec spec = AtStep(0, 1 << 20);
+  spec.seed = 7;
+  FaultInjector::Global().Arm(FaultSite::kTornCheckpoint, spec);
+  FaultInjector::Global().Arm(FaultSite::kBitflipCheckpoint, spec);
+
+  const std::string path = TempPath("unscoped.txt");
+  const std::string payload = "manifest payload\n";
+  ASSERT_TRUE(AtomicReplace(path, payload, FileKind::kManifest));
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes));
+  EXPECT_EQ(bytes, payload);
+  ASSERT_TRUE(AtomicReplace(path, payload, FileKind::kGeneric));
+  ASSERT_TRUE(ReadFileBytes(path, &bytes));
+  EXPECT_EQ(bytes, payload);
+  unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy: deterministic backoff, bounded attempts
+
+TEST_F(IoTest, BackoffIsDeterministicBoundedAndSeeded) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_backoff_ms = 4;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 10;
+  policy.seed = 42;
+
+  std::vector<int64_t> first;
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    const int64_t ms = policy.BackoffMs(attempt);
+    EXPECT_GE(ms, 0);
+    // Exponential base capped at max, plus jitter bounded by base.
+    EXPECT_LE(ms, policy.max_backoff_ms + policy.base_backoff_ms);
+    first.push_back(ms);
+  }
+  // Same policy, same schedule — replayable to the millisecond.
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    EXPECT_EQ(policy.BackoffMs(attempt),
+              first[static_cast<size_t>(attempt - 1)]);
+  }
+  // A different seed shifts the jitter somewhere in the schedule.
+  RetryPolicy reseeded = policy;
+  reseeded.seed = 43;
+  bool any_different = false;
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    any_different =
+        any_different ||
+        reseeded.BackoffMs(attempt) != first[static_cast<size_t>(attempt - 1)];
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST_F(IoTest, RunRetriesUntilSuccessAndGivesUp) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 0;
+  policy.max_backoff_ms = 0;
+
+  int calls = 0;
+  EXPECT_TRUE(policy.Run([&] { return ++calls == 3; }));
+  EXPECT_EQ(calls, 3);
+
+  calls = 0;
+  EXPECT_FALSE(policy.Run([&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(IoTest, RetryRidesOutTransientEioBurst) {
+  // Two injected EIO hits, then the disk recovers: the policy's third
+  // attempt lands the checkpoint.
+  FaultInjector::Global().Arm(FaultSite::kEioWrite, AtStep(0, 2));
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 0;
+  policy.max_backoff_ms = 0;
+
+  const std::string path = TempPath("transient.ckpt");
+  const std::string payload = "generation payload";
+  EXPECT_TRUE(policy.Run(
+      [&] { return AtomicReplace(path, payload, FileKind::kCheckpoint); }));
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes));
+  EXPECT_EQ(bytes, payload);
+  unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Offline fsck: detect, repair, refuse the unrecoverable
+
+JobCheckpoint EpochCheckpoint(int epoch) {
+  JobCheckpoint c;
+  c.next_epoch = epoch;
+  c.seed = 5;
+  c.params = "params for epoch " + std::to_string(epoch);
+  return c;
+}
+
+/// Fresh scratch directory holding one saved lineage of `generations`.
+std::string MakeLineageDir(const std::string& name, int generations,
+                           int max_generations = 3) {
+  const std::string dir = TempPath("fsck_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  CheckpointLineage lineage(dir + "/job.ckpt", max_generations);
+  for (int epoch = 1; epoch <= generations; ++epoch) {
+    EXPECT_TRUE(lineage.Save(EpochCheckpoint(epoch)));
+  }
+  return dir;
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes));
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x20);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST_F(IoTest, FsckPassesACleanLineage) {
+  const std::string dir = MakeLineageDir("clean", 3);
+  const FsckReport report = FsckDirectory(dir, /*repair=*/false);
+  EXPECT_EQ(report.lineages, 1);
+  EXPECT_EQ(report.generations, 3);
+  EXPECT_EQ(report.corrupt, 0);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.issues.empty());
+  fs::remove_all(dir);
+}
+
+TEST_F(IoTest, FsckDetectsEveryInjectedCorruption) {
+  const std::string dir = MakeLineageDir("detect", 3);
+  CheckpointLineage lineage(dir + "/job.ckpt", 3);
+  FlipByte(lineage.GenerationPath(2), 10);
+  FlipByte(lineage.GenerationPath(3), 40);
+
+  const FsckReport report = FsckDirectory(dir, /*repair=*/false);
+  EXPECT_EQ(report.corrupt, 2);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.unrecoverable, 0);  // generation 1 still loads
+  ASSERT_GE(report.issues.size(), 2u);
+  // The report names the offending files.
+  bool found_g2 = false;
+  bool found_g3 = false;
+  for (const auto& issue : report.issues) {
+    found_g2 = found_g2 || issue.path == lineage.GenerationPath(2);
+    found_g3 = found_g3 || issue.path == lineage.GenerationPath(3);
+  }
+  EXPECT_TRUE(found_g2);
+  EXPECT_TRUE(found_g3);
+
+  // The formatted report is what btfsck prints; spot-check its shape.
+  const std::string text = robustness::FormatFsckReport(report);
+  EXPECT_NE(text.find("corrupt: 2"), std::string::npos);
+  EXPECT_NE(text.find("issue|"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST_F(IoTest, FsckRepairDropsCorruptAdoptsOrphansRewritesManifest) {
+  const std::string dir = MakeLineageDir("repair", 2);
+  CheckpointLineage lineage(dir + "/job.ckpt", 3);
+  FlipByte(lineage.GenerationPath(2), 25);
+  // Orphan from a crash between generation commit and manifest commit.
+  ASSERT_TRUE(robustness::AtomicWriteFile(
+      lineage.GenerationPath(5),
+      robustness::SerializeJobCheckpoint(EpochCheckpoint(5))));
+  // Stale tmp from a torn atomic replace.
+  { std::ofstream out(lineage.GenerationPath(6) + ".tmp"); out << "junk"; }
+
+  FsckReport report = FsckDirectory(dir, /*repair=*/true);
+  EXPECT_EQ(report.corrupt, 1);
+  EXPECT_EQ(report.orphans, 1);
+  EXPECT_EQ(report.stale_tmps, 1);
+  EXPECT_GT(report.repaired, 0);
+  EXPECT_EQ(report.unrecoverable, 0);
+
+  // Post-repair the directory verifies clean and the orphan is live.
+  report = FsckDirectory(dir, /*repair=*/false);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.orphans, 0);
+  EXPECT_EQ(report.stale_tmps, 0);
+  JobCheckpoint loaded;
+  const auto result = lineage.Load(&loaded);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.seq, 5u);
+  EXPECT_EQ(loaded.next_epoch, 5);
+  fs::remove_all(dir);
+}
+
+TEST_F(IoTest, FsckReportsUnrecoverableLineage) {
+  const std::string dir = MakeLineageDir("dead", 2, 2);
+  CheckpointLineage lineage(dir + "/job.ckpt", 2);
+  FlipByte(lineage.GenerationPath(1), 12);
+  FlipByte(lineage.GenerationPath(2), 12);
+
+  const FsckReport report = FsckDirectory(dir, /*repair=*/false);
+  EXPECT_EQ(report.unrecoverable, 1);
+  EXPECT_FALSE(report.clean());
+
+  // Repair refuses to touch it: every byte stays for the post-mortem.
+  const FsckReport repaired = FsckDirectory(dir, /*repair=*/true);
+  EXPECT_EQ(repaired.unrecoverable, 1);
+  std::string unused;
+  EXPECT_TRUE(ReadFileBytes(lineage.GenerationPath(1), &unused));
+  EXPECT_TRUE(ReadFileBytes(lineage.GenerationPath(2), &unused));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace benchtemp

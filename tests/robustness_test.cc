@@ -21,6 +21,7 @@
 #include "datagen/synthetic.h"
 #include "robustness/checkpoint.h"
 #include "robustness/fault_injector.h"
+#include "robustness/lineage.h"
 #include "robustness/sweep.h"
 #include "robustness/watchdog.h"
 #include "tensor/modules.h"
@@ -314,7 +315,7 @@ TEST_F(RobustnessTest, CancelTokenWindsTrainingDownWithX) {
 TEST_F(RobustnessTest, ResumedJobMatchesUninterruptedRunExactly) {
   TemporalGraph g = MakeLearnableGraph();
   const std::string path = TempPath("resume.ckpt");
-  unlink(path.c_str());
+  CheckpointLineage(path, 3).Remove();
 
   // Reference: the uninterrupted run.
   LinkPredictionJob job = SmallTgnJob(&g);
@@ -329,8 +330,11 @@ TEST_F(RobustnessTest, ResumedJobMatchesUninterruptedRunExactly) {
   FaultInjector::Global().Arm(FaultSite::kThrowForward, spec);
   EXPECT_THROW(RunLinkPrediction(job), std::runtime_error);
   FaultInjector::Global().DisarmAll();
-  std::string unused;
-  ASSERT_TRUE(ReadFile(path, &unused)) << "no checkpoint survived the crash";
+  {
+    JobCheckpoint peek;
+    ASSERT_TRUE(CheckpointLineage(path, 3).Load(&peek).ok)
+        << "no checkpoint generation survived the crash";
+  }
 
   // Resume: same job, checkpoint present — the result must be bit-identical
   // to the run that never crashed.
@@ -344,14 +348,47 @@ TEST_F(RobustnessTest, ResumedJobMatchesUninterruptedRunExactly) {
   EXPECT_DOUBLE_EQ(resumed.val_transductive.auc,
                    reference.val_transductive.auc);
 
-  // A completed job retires its checkpoint.
-  EXPECT_FALSE(ReadFile(path, &unused));
+  // A completed job retires its whole lineage (generations + manifest).
+  JobCheckpoint peek;
+  const LineageLoadResult gone = CheckpointLineage(path, 3).Load(&peek);
+  EXPECT_FALSE(gone.ok);
+  EXPECT_EQ(gone.error, "no checkpoint");
+  std::string unused;
+  EXPECT_FALSE(ReadFile(path + ".lineage", &unused));
+}
+
+TEST_F(RobustnessTest, PipelinedKillAndResumeMatchesReference) {
+  // The BENCHTEMP_PIPELINE=2 shape of the same contract: prefetch must not
+  // change what gets checkpointed or how a resumed run replays.
+  TemporalGraph g = MakeLearnableGraph();
+  const std::string path = TempPath("resume_pipe.ckpt");
+  CheckpointLineage(path, 3).Remove();
+
+  LinkPredictionJob job = SmallTgnJob(&g);
+  job.train_config.pipeline_depth = 2;
+  const LinkPredictionResult reference = RunLinkPrediction(job);
+  ASSERT_EQ(reference.status, models::ModelStatus::kOk);
+
+  job.train_config.checkpoint_path = path;
+  FaultSpec spec;
+  spec.at_step = 14;
+  FaultInjector::Global().Arm(FaultSite::kThrowForward, spec);
+  EXPECT_THROW(RunLinkPrediction(job), std::runtime_error);
+  FaultInjector::Global().DisarmAll();
+
+  const LinkPredictionResult resumed = RunLinkPrediction(job);
+  EXPECT_TRUE(resumed.resumed);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(resumed.test[s].auc, reference.test[s].auc);
+    EXPECT_DOUBLE_EQ(resumed.test[s].ap, reference.test[s].ap);
+  }
+  CheckpointLineage(path, 3).Remove();
 }
 
 TEST_F(RobustnessTest, CheckpointWithWrongSeedIgnored) {
   TemporalGraph g = MakeLearnableGraph();
   const std::string path = TempPath("wrong_seed.ckpt");
-  unlink(path.c_str());
+  CheckpointLineage(path, 3).Remove();
 
   LinkPredictionJob job = SmallTgnJob(&g);
   job.train_config.checkpoint_path = path;
@@ -367,7 +404,151 @@ TEST_F(RobustnessTest, CheckpointWithWrongSeedIgnored) {
   const LinkPredictionResult result = RunLinkPrediction(job);
   EXPECT_FALSE(result.resumed);
   EXPECT_EQ(result.status, models::ModelStatus::kOk);
-  unlink(path.c_str());
+  CheckpointLineage(path, 3).Remove();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint lineage: retention, corruption fallback, orphan adoption
+
+JobCheckpoint EpochCheckpoint(int epoch) {
+  JobCheckpoint c;
+  c.next_epoch = epoch;
+  c.epochs_run = epoch;
+  c.seed = 5;
+  c.model_rng = "model rng";
+  c.sampler_rng = "sampler rng";
+  c.params = "params for epoch " + std::to_string(epoch);
+  c.adam = "adam for epoch " + std::to_string(epoch);
+  return c;
+}
+
+/// Flips one byte at `fraction` of the way through `path`.
+void CorruptFileAt(const std::string& path, double fraction) {
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes));
+  ASSERT_FALSE(bytes.empty());
+  size_t off =
+      static_cast<size_t>(fraction * static_cast<double>(bytes.size()));
+  if (off >= bytes.size()) off = bytes.size() - 1;
+  bytes[off] = static_cast<char>(bytes[off] ^ 0x20);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST_F(RobustnessTest, LineageKeepsLastNGenerationsAndPrunes) {
+  const std::string base = TempPath("lineage_prune.ckpt");
+  CheckpointLineage lineage(base, 2);
+  lineage.Remove();
+
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    int64_t bytes = 0;
+    ASSERT_TRUE(lineage.Save(EpochCheckpoint(epoch), &bytes));
+    EXPECT_GT(bytes, 0);
+  }
+
+  // Only the last two generations survive; the first was pruned from both
+  // the manifest and the directory.
+  const std::vector<Generation> gens = lineage.List();
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens[0].seq, 2u);
+  EXPECT_EQ(gens[1].seq, 3u);
+  std::string unused;
+  EXPECT_FALSE(ReadFile(lineage.GenerationPath(1), &unused));
+
+  JobCheckpoint loaded;
+  const LineageLoadResult result = lineage.Load(&loaded);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.seq, 3u);
+  EXPECT_EQ(result.fallbacks, 0);
+  EXPECT_EQ(loaded.next_epoch, 3);
+
+  ASSERT_TRUE(lineage.Remove());
+  EXPECT_FALSE(lineage.Load(&loaded).ok);
+  EXPECT_FALSE(ReadFile(lineage.manifest_path(), &unused));
+}
+
+TEST_F(RobustnessTest, LineageFallsBackAcrossEveryCorruptRegion) {
+  // Corruption matrix: a flipped byte anywhere in the newest generation —
+  // header/magic, the params blob, or the trailing checksum — must demote
+  // it and load the previous generation instead of aborting the job.
+  const double kRegions[] = {0.0, 0.35, 0.6, 0.999};
+  for (const double region : kRegions) {
+    const std::string base = TempPath("lineage_corrupt.ckpt");
+    CheckpointLineage lineage(base, 3);
+    lineage.Remove();
+    ASSERT_TRUE(lineage.Save(EpochCheckpoint(1)));
+    ASSERT_TRUE(lineage.Save(EpochCheckpoint(2)));
+
+    CorruptFileAt(lineage.GenerationPath(2), region);
+
+    JobCheckpoint loaded;
+    const LineageLoadResult result = lineage.Load(&loaded);
+    ASSERT_TRUE(result.ok) << "region " << region << ": " << result.error;
+    EXPECT_EQ(result.seq, 1u) << "region " << region;
+    EXPECT_EQ(result.fallbacks, 1) << "region " << region;
+    EXPECT_EQ(loaded.next_epoch, 1) << "region " << region;
+    lineage.Remove();
+  }
+}
+
+TEST_F(RobustnessTest, LineageAllGenerationsCorruptFailsStructured) {
+  const std::string base = TempPath("lineage_dead.ckpt");
+  CheckpointLineage lineage(base, 3);
+  lineage.Remove();
+  ASSERT_TRUE(lineage.Save(EpochCheckpoint(1)));
+  ASSERT_TRUE(lineage.Save(EpochCheckpoint(2)));
+  CorruptFileAt(lineage.GenerationPath(1), 0.5);
+  CorruptFileAt(lineage.GenerationPath(2), 0.5);
+
+  JobCheckpoint loaded;
+  const LineageLoadResult result = lineage.Load(&loaded);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.fallbacks, 2);
+  // The error names every rejected generation with its reason.
+  EXPECT_NE(result.error.find("g1"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("g2"), std::string::npos) << result.error;
+  lineage.Remove();
+}
+
+TEST_F(RobustnessTest, LineageSurvivesManifestLossAndAdoptsOrphans) {
+  const std::string base = TempPath("lineage_orphan.ckpt");
+  CheckpointLineage lineage(base, 3);
+  lineage.Remove();
+  ASSERT_TRUE(lineage.Save(EpochCheckpoint(1)));
+  ASSERT_TRUE(lineage.Save(EpochCheckpoint(2)));
+
+  // A crash between the generation commit and the manifest commit leaves an
+  // orphan generation file the manifest does not know about. It is newer,
+  // valid, and must win.
+  ASSERT_TRUE(AtomicWriteFile(lineage.GenerationPath(7),
+                              SerializeJobCheckpoint(EpochCheckpoint(7))));
+  JobCheckpoint loaded;
+  LineageLoadResult result = lineage.Load(&loaded);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.seq, 7u);
+  EXPECT_EQ(loaded.next_epoch, 7);
+
+  // The manifest itself is not a single point of failure: corrupt it, then
+  // delete it — the directory scan answers either way.
+  {
+    std::ofstream out(lineage.manifest_path(), std::ios::trunc);
+    out << "not a manifest\n";
+  }
+  result = lineage.Load(&loaded);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.seq, 7u);
+
+  unlink(lineage.manifest_path().c_str());
+  result = lineage.Load(&loaded);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.seq, 7u);
+
+  // The next Save must not reuse or shadow the orphan's sequence number.
+  ASSERT_TRUE(lineage.Save(EpochCheckpoint(8)));
+  result = lineage.Load(&loaded);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.seq, 8u);
+  lineage.Remove();
 }
 
 // ---------------------------------------------------------------------------
@@ -583,6 +764,149 @@ TEST_F(RobustnessTest, CsvLoaderRejectsMalformedRows) {
   auto [ok6, err6] = write_and_load("src,dst\n");
   EXPECT_FALSE(ok6);
   EXPECT_NE(err6.message.find("header"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hardened ingest: strict loader, repair mode, quarantine
+
+TEST_F(RobustnessTest, StrictLoaderRejectsHostileStreams) {
+  const std::string path = TempPath("hostile.csv");
+  struct Case {
+    const char* name;
+    const char* body;
+    int64_t line;
+    const char* reason;
+  };
+  const Case kCases[] = {
+      {"out-of-order", "src,dst,ts,label\n0,1,2.0,0\n1,2,1.0,0\n", 3,
+       "out-of-order timestamp"},
+      {"duplicate", "src,dst,ts,label\n0,1,1.0,0\n0,1,1.0,0\n", 3,
+       "duplicate edge"},
+      {"self-loop", "src,dst,ts,label\n3,3,1.0,0\n", 2, "self-loop edge"},
+      {"nan-ts", "src,dst,ts,label\n0,1,nan,0\n", 2,
+       "malformed or non-finite timestamp"},
+      {"inf-feature", "src,dst,ts,label,f0\n0,1,1.0,0,inf\n", 2,
+       "malformed or non-finite feature"},
+      {"torn-tail", "src,dst,ts,label\n0,1,1.0,0\n1,2,2.0,0", 3,
+       "truncated file (no trailing newline)"},
+      {"short-row", "src,dst,ts,label\n0,1,1.0\n", 2, "wrong column count"},
+      {"negative-id", "src,dst,ts,label\n0,-3,1.0,0\n", 2,
+       "negative node id"},
+  };
+  for (const Case& c : kCases) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << c.body;
+    }
+    TemporalGraph g;
+    datagen::LoadError error;
+    EXPECT_FALSE(datagen::LoadCsvStrict(path, datagen::CsvOptions{}, &g,
+                                        &error))
+        << c.name;
+    EXPECT_EQ(error.file, path) << c.name;
+    EXPECT_EQ(error.line, c.line) << c.name;
+    EXPECT_EQ(error.reason, c.reason) << c.name;
+    // The rendered diagnostic carries file and line for the operator.
+    EXPECT_NE(error.str().find(path + ":" + std::to_string(c.line)),
+              std::string::npos)
+        << c.name;
+  }
+  unlink(path.c_str());
+}
+
+TEST_F(RobustnessTest, StrictOptionsRelaxIndividually) {
+  const std::string path = TempPath("relaxed.csv");
+  auto load_with = [&](const std::string& body,
+                       const datagen::CsvOptions& options,
+                       TemporalGraph* g) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << body;
+    }
+    datagen::LoadError error;
+    return datagen::LoadCsvStrict(path, options, g, &error);
+  };
+
+  // Out-of-order input is accepted — and re-sorted — when the caller opts
+  // out of the ordering invariant.
+  datagen::CsvOptions unsorted_ok;
+  unsorted_ok.reject_unsorted = false;
+  TemporalGraph g1;
+  ASSERT_TRUE(load_with("src,dst,ts,label\n0,1,2.0,0\n1,2,1.0,0\n",
+                        unsorted_ok, &g1));
+  ASSERT_EQ(g1.num_events(), 2);
+  EXPECT_LE(g1.events()[0].ts, g1.events()[1].ts);
+
+  datagen::CsvOptions dups_ok;
+  dups_ok.reject_duplicates = false;
+  TemporalGraph g2;
+  EXPECT_TRUE(load_with("src,dst,ts,label\n0,1,1.0,0\n0,1,1.0,0\n", dups_ok,
+                        &g2));
+
+  datagen::CsvOptions loops_ok;
+  loops_ok.reject_self_loops = false;
+  TemporalGraph g3;
+  EXPECT_TRUE(load_with("src,dst,ts,label\n3,3,1.0,0\n", loops_ok, &g3));
+
+  datagen::CsvOptions torn_ok;
+  torn_ok.reject_truncated = false;
+  TemporalGraph g4;
+  EXPECT_TRUE(load_with("src,dst,ts,label\n0,1,1.0,0\n1,2,2.0,0", torn_ok,
+                        &g4));
+  EXPECT_EQ(g4.num_events(), 2);
+  unlink(path.c_str());
+}
+
+TEST_F(RobustnessTest, RepairCsvQuarantinesHostileRowsAndCleanCopyLoads) {
+  const std::string path = TempPath("dirty.csv");
+  const std::string cleaned = TempPath("cleaned.csv");
+  const std::string quarantine = TempPath("quarantine.txt");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "src,dst,ts,label,f0\n";
+    out << "0,1,1.0,0,0.5\n";    // keep
+    out << "2,2,2.0,0,0.5\n";    // self-loop
+    out << "1,3,3.0,0,0.5\n";    // keep
+    out << "1,3,2.5,0,0.5\n";    // out of order vs the last kept row
+    out << "4,5,4.0,0,nan\n";    // non-finite feature
+    out << "5,6,5.0,0,0.5\n";    // keep
+    out << "6,7,6.0,0,0.5";      // torn final row (no newline)
+  }
+
+  datagen::CsvRepairReport report;
+  datagen::LoadError error;
+  ASSERT_TRUE(datagen::RepairCsv(path, datagen::CsvOptions{}, cleaned,
+                                 quarantine, &report, &error))
+      << error.str();
+  EXPECT_EQ(report.rows_kept, 3);
+  EXPECT_EQ(report.rows_quarantined, 4);
+  ASSERT_EQ(report.quarantined.size(), 4u);
+  EXPECT_EQ(report.quarantined[0].line, 3);
+  EXPECT_EQ(report.quarantined[0].reason, "self-loop edge");
+  EXPECT_EQ(report.quarantined[1].reason, "out-of-order timestamp");
+  EXPECT_EQ(report.quarantined[2].reason,
+            "malformed or non-finite feature");
+  EXPECT_EQ(report.quarantined[3].reason, "truncated row");
+
+  // The quarantine report preserves the dropped rows verbatim.
+  std::string qtext;
+  ASSERT_TRUE(ReadFile(quarantine, &qtext));
+  EXPECT_EQ(qtext.rfind("btquarantine|1\n", 0), 0u);
+  EXPECT_NE(qtext.find("q|3|self-loop edge|2,2,2.0,0,0.5\n"),
+            std::string::npos);
+  EXPECT_NE(qtext.find("q|8|truncated row|6,7,6.0,0,0.5\n"),
+            std::string::npos);
+
+  // The cleaned copy is strict-loadable by construction.
+  TemporalGraph g;
+  datagen::LoadError clean_error;
+  EXPECT_TRUE(
+      datagen::LoadCsvStrict(cleaned, datagen::CsvOptions{}, &g, &clean_error))
+      << clean_error.str();
+  EXPECT_EQ(g.num_events(), 3);
+  unlink(path.c_str());
+  unlink(cleaned.c_str());
+  unlink(quarantine.c_str());
 }
 
 }  // namespace

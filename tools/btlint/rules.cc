@@ -46,6 +46,9 @@ const std::vector<RuleInfo> kRules = {
     {"hot-loop-at", "api",
      "bounds-checked .at( inside src/tensor/kernels/ (raw spans only in "
      "the kernel layer)"},
+    {"unchecked-io", "api",
+     "ignored fwrite/fclose/rename/fsync return value outside src/io "
+     "(route durable writes through io::File)"},
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -657,6 +660,49 @@ void RuleHotLoopAt(const std::string& path, const LexedFile& f,
   }
 }
 
+void RuleUncheckedIo(const std::string& path, const LexedFile& f,
+                     std::vector<Finding>* out) {
+  // The durability contract (DESIGN.md "Failure model v2") depends on every
+  // fwrite/fclose/rename/fsync result being checked; src/io/file.* is the
+  // one place allowed to touch raw stdio, and io::File latches and reports
+  // exactly these failures.
+  if (!StartsWith(path, "src/") && !StartsWith(path, "bench/")) return;
+  if (StartsWith(path, "src/io/")) return;
+  const Tokens& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if (t != "fwrite" && t != "fclose" && t != "rename" && t != "fsync") {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+    // Accept bare and std:: spellings; skip other qualifications
+    // (fs::rename with an error_code is the caller's choice) and member
+    // calls (file.rename(...) is a different function entirely).
+    size_t start = i;
+    if (i >= 2 && IsPunct(toks[i - 1], "::")) {
+      if (!IsIdent(toks[i - 2], "std")) continue;
+      start = i - 2;
+    }
+    if (start > 0 &&
+        (IsPunct(toks[start - 1], ".") || IsPunct(toks[start - 1], "->"))) {
+      continue;
+    }
+    // Only a call in statement position discards its result; results
+    // consumed by a condition, assignment, (void) cast, or return are fine.
+    const bool stmt_start = start == 0 || IsPunct(toks[start - 1], ";") ||
+                            IsPunct(toks[start - 1], "{") ||
+                            IsPunct(toks[start - 1], "}");
+    if (!stmt_start) continue;
+    Report(out, path, toks[i], "unchecked-io",
+           "'" + t +
+               "()' result ignored; a failed write/close/rename/fsync here "
+               "silently loses durable state — route the write through "
+               "io::File / io::AtomicReplace or check and propagate the "
+               "return value");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions.
 // ---------------------------------------------------------------------------
@@ -761,6 +807,7 @@ std::vector<Finding> LintFile(const std::string& path,
   RuleIncludeGuard(path, f, &findings);
   RuleAdhocTiming(path, f, &findings);
   RuleHotLoopAt(path, f, &findings);
+  RuleUncheckedIo(path, f, &findings);
 
   const Suppressions s = CollectSuppressions(f);
   std::vector<Finding> kept;
