@@ -1,0 +1,23 @@
+#ifndef BENCHTEMP_BASE_CHECK_H_
+#define BENCHTEMP_BASE_CHECK_H_
+
+// Process-fatal invariant check. Lives in base — the bottom layer — so the
+// runtime pool can assert invariants without reaching up into the tensor
+// layer (which sits above it in the layering DAG and itself depends on the
+// pool). tensor::CheckOrDie re-exports this symbol for its callers.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace benchtemp::base {
+
+inline void CheckOrDie(bool condition, const char* message) {
+  if (!condition) {
+    std::fprintf(stderr, "benchtemp check failed: %s\n", message);
+    std::abort();
+  }
+}
+
+}  // namespace benchtemp::base
+
+#endif  // BENCHTEMP_BASE_CHECK_H_

@@ -1,12 +1,12 @@
-#include "robustness/fault_injector.h"
+#include "base/fault_injector.h"
 
 #include <unistd.h>
 
 #include <cstdlib>
 
-#include "tensor/random.h"
+#include "base/splitmix.h"
 
-namespace benchtemp::robustness {
+namespace benchtemp::base {
 
 namespace {
 
@@ -80,7 +80,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(FaultSite site, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int i = SiteIndex(site);
   specs_[static_cast<size_t>(i)] = spec;
   probes_[static_cast<size_t>(i)] = 0;
@@ -88,7 +88,7 @@ void FaultInjector::Arm(FaultSite site, FaultSpec spec) {
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (size_t i = 0; i < specs_.size(); ++i) {
     specs_[i] = FaultSpec{};
     probes_[i] = 0;
@@ -157,7 +157,7 @@ bool FaultInjector::Fire(FaultSite site, uint64_t* seed_out) {
   bool kill = false;
   bool fired = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const size_t i = static_cast<size_t>(SiteIndex(site));
     const FaultSpec& spec = specs_[i];
     const int64_t step = probes_[i]++;
@@ -168,7 +168,7 @@ bool FaultInjector::Fire(FaultSite site, uint64_t* seed_out) {
       kill = spec.kill_process;
       if (seed_out != nullptr) {
         *seed_out =
-            tensor::SplitMix64(spec.seed, static_cast<uint64_t>(step));
+            SplitMix64(spec.seed, static_cast<uint64_t>(step));
       }
     }
   }
@@ -181,14 +181,14 @@ bool FaultInjector::Fire(FaultSite site, uint64_t* seed_out) {
 }
 
 int64_t FaultInjector::stall_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return specs_[static_cast<size_t>(SiteIndex(FaultSite::kStallBatch))]
       .stall_ms;
 }
 
 int64_t FaultInjector::fire_count(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fires_[static_cast<size_t>(SiteIndex(site))];
 }
 
-}  // namespace benchtemp::robustness
+}  // namespace benchtemp::base

@@ -1,12 +1,14 @@
-#ifndef BENCHTEMP_ROBUSTNESS_FAULT_INJECTOR_H_
-#define BENCHTEMP_ROBUSTNESS_FAULT_INJECTOR_H_
+#ifndef BENCHTEMP_BASE_FAULT_INJECTOR_H_
+#define BENCHTEMP_BASE_FAULT_INJECTOR_H_
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
-namespace benchtemp::robustness {
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace benchtemp::base {
 
 /// Instrumented failure points of the pipeline. Each site is probed by the
 /// code that owns it (trainer, checkpoint writer); the injector decides
@@ -108,12 +110,12 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
-  mutable std::mutex mutex_;
-  std::array<FaultSpec, kNumFaultSites> specs_{};
-  std::array<int64_t, kNumFaultSites> probes_{};
-  std::array<int64_t, kNumFaultSites> fires_{};
+  mutable Mutex mutex_;
+  std::array<FaultSpec, kNumFaultSites> specs_ GUARDED_BY(mutex_){};
+  std::array<int64_t, kNumFaultSites> probes_ GUARDED_BY(mutex_){};
+  std::array<int64_t, kNumFaultSites> fires_ GUARDED_BY(mutex_){};
 };
 
-}  // namespace benchtemp::robustness
+}  // namespace benchtemp::base
 
-#endif  // BENCHTEMP_ROBUSTNESS_FAULT_INJECTOR_H_
+#endif  // BENCHTEMP_BASE_FAULT_INJECTOR_H_

@@ -1,0 +1,26 @@
+#ifndef BENCHTEMP_BASE_SPLITMIX_H_
+#define BENCHTEMP_BASE_SPLITMIX_H_
+
+#include <cstdint>
+
+namespace benchtemp::base {
+
+/// SplitMix64 finalizer: derives a decorrelated stream seed from a base
+/// seed and an index. This is the repo-wide keying primitive behind every
+/// "per-X stream" determinism contract (per-root walk streams, per-batch
+/// negative sampling / prefetch seeds, per-firing fault-injection
+/// corruption streams): the derived value depends only on (seed, index),
+/// never on call order or thread count. It lives in base so the fault
+/// injector — probed from src/io, below the tensor layer — can key its
+/// corruption streams without an upward include; tensor::SplitMix64
+/// re-exports it for the sampling/walk call sites.
+inline uint64_t SplitMix64(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace benchtemp::base
+
+#endif  // BENCHTEMP_BASE_SPLITMIX_H_

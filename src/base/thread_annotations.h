@@ -1,0 +1,57 @@
+#ifndef BENCHTEMP_BASE_THREAD_ANNOTATIONS_H_
+#define BENCHTEMP_BASE_THREAD_ANNOTATIONS_H_
+
+// Portable Clang thread-safety-analysis annotations (see DESIGN.md,
+// "Layering & lock discipline").
+//
+// Annotating which mutex protects which member turns lock discipline from
+// a code-review convention into a compile error: the clang CI leg builds
+// with -Werror=thread-safety, so an unguarded access to a GUARDED_BY
+// member is a build break, not a TSan flake that needs the racy schedule
+// to reproduce. On GCC (and clang without the attribute) every macro
+// expands to nothing, so the annotations are free for regular builds.
+//
+// The vocabulary is the standard capability model:
+//   CAPABILITY(name)      the annotated type is a lockable capability
+//   SCOPED_CAPABILITY     RAII type that acquires/releases in ctor/dtor
+//   GUARDED_BY(mu)        member may only be accessed while holding mu
+//   PT_GUARDED_BY(mu)     pointee may only be accessed while holding mu
+//   REQUIRES(mu)          function may only be called while holding mu
+//   ACQUIRE(mu) / RELEASE(mu)   function acquires / releases mu
+//   TRY_ACQUIRE(ok, mu)   function acquires mu when it returns `ok`
+//   EXCLUDES(mu)          function may not be called while holding mu
+//   NO_THREAD_SAFETY_ANALYSIS   escape hatch; always carry a rationale
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define BENCHTEMP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BENCHTEMP_THREAD_ANNOTATION
+#define BENCHTEMP_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) BENCHTEMP_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY BENCHTEMP_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) BENCHTEMP_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) BENCHTEMP_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  BENCHTEMP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  BENCHTEMP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  BENCHTEMP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  BENCHTEMP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  BENCHTEMP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  BENCHTEMP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) BENCHTEMP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  BENCHTEMP_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) BENCHTEMP_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BENCHTEMP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // BENCHTEMP_BASE_THREAD_ANNOTATIONS_H_

@@ -19,12 +19,12 @@ std::string FormatCell(const LeaderboardRecord& r, const char* marker) {
 }  // namespace
 
 void Leaderboard::Add(LeaderboardRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   records_.push_back(std::move(record));
 }
 
 void Leaderboard::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   records_.clear();
 }
 
@@ -42,12 +42,12 @@ std::string Leaderboard::ToCsvLocked() const {
 }
 
 std::string Leaderboard::ToCsv() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   return ToCsvLocked();
 }
 
 bool Leaderboard::WriteCsv(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::string csv = ToCsvLocked();
@@ -55,7 +55,7 @@ bool Leaderboard::WriteCsv(const std::string& path) const {
   return std::fclose(f) == 0 && ok;
 }
 
-std::vector<LeaderboardRecord> Leaderboard::Select(
+std::vector<LeaderboardRecord> Leaderboard::SelectLocked(
     const std::string& dataset, const std::string& task,
     const std::string& setting, const std::string& metric) const {
   std::vector<LeaderboardRecord> out;
@@ -68,11 +68,17 @@ std::vector<LeaderboardRecord> Leaderboard::Select(
   return out;
 }
 
-const LeaderboardRecord* Leaderboard::Find(const std::string& model,
-                                           const std::string& dataset,
-                                           const std::string& task,
-                                           const std::string& setting,
-                                           const std::string& metric) const {
+std::vector<LeaderboardRecord> Leaderboard::Select(
+    const std::string& dataset, const std::string& task,
+    const std::string& setting, const std::string& metric) const {
+  base::MutexLock lock(mutex_);
+  return SelectLocked(dataset, task, setting, metric);
+}
+
+const LeaderboardRecord* Leaderboard::FindLocked(
+    const std::string& model, const std::string& dataset,
+    const std::string& task, const std::string& setting,
+    const std::string& metric) const {
   for (const LeaderboardRecord& r : records_) {
     if (r.model == model && r.dataset == dataset && r.task == task &&
         r.setting == setting && r.metric == metric) {
@@ -82,16 +88,27 @@ const LeaderboardRecord* Leaderboard::Find(const std::string& model,
   return nullptr;
 }
 
-int Leaderboard::Rank(const std::string& model, const std::string& dataset,
-                      const std::string& task, const std::string& setting,
-                      const std::string& metric) const {
-  const LeaderboardRecord* mine = Find(model, dataset, task, setting, metric);
+int Leaderboard::RankLocked(const std::string& model,
+                            const std::string& dataset,
+                            const std::string& task,
+                            const std::string& setting,
+                            const std::string& metric) const {
+  const LeaderboardRecord* mine =
+      FindLocked(model, dataset, task, setting, metric);
   if (mine == nullptr || !mine->annotation.empty()) return 0;
   int rank = 1;
-  for (const LeaderboardRecord& r : Select(dataset, task, setting, metric)) {
+  for (const LeaderboardRecord& r :
+       SelectLocked(dataset, task, setting, metric)) {
     if (r.annotation.empty() && r.mean > mine->mean) ++rank;
   }
   return rank;
+}
+
+int Leaderboard::Rank(const std::string& model, const std::string& dataset,
+                      const std::string& task, const std::string& setting,
+                      const std::string& metric) const {
+  base::MutexLock lock(mutex_);
+  return RankLocked(model, dataset, task, setting, metric);
 }
 
 double Leaderboard::AverageRank(const std::string& model,
@@ -99,12 +116,15 @@ double Leaderboard::AverageRank(const std::string& model,
                                 const std::string& task,
                                 const std::string& setting,
                                 const std::string& metric) const {
+  // One lock for the whole aggregation so every dataset's rank is computed
+  // against the same snapshot of the records.
+  base::MutexLock lock(mutex_);
   double total = 0.0;
   int counted = 0;
   for (const std::string& dataset : datasets) {
-    const auto cell = Select(dataset, task, setting, metric);
+    const auto cell = SelectLocked(dataset, task, setting, metric);
     if (cell.empty()) continue;
-    int rank = Rank(model, dataset, task, setting, metric);
+    int rank = RankLocked(model, dataset, task, setting, metric);
     if (rank == 0) rank = static_cast<int>(cell.size());  // failed => worst
     total += rank;
     ++counted;
@@ -118,6 +138,9 @@ std::string Leaderboard::FormatTable(const std::vector<std::string>& models,
                                      const std::string& setting,
                                      const std::string& metric,
                                      double second_gap) const {
+  // One lock for the whole render so the best/second markers and the cells
+  // they decorate come from the same snapshot.
+  base::MutexLock lock(mutex_);
   std::string out;
   out += "Dataset";
   for (const std::string& m : models) out += "\t" + m;
@@ -126,7 +149,8 @@ std::string Leaderboard::FormatTable(const std::vector<std::string>& models,
     // Identify best and second-best means among non-failed cells.
     double best = -1e30, second = -1e30;
     for (const std::string& m : models) {
-      const LeaderboardRecord* r = Find(m, dataset, task, setting, metric);
+      const LeaderboardRecord* r =
+          FindLocked(m, dataset, task, setting, metric);
       if (r == nullptr || !r->annotation.empty()) continue;
       if (r->mean > best) {
         second = best;
@@ -137,7 +161,8 @@ std::string Leaderboard::FormatTable(const std::vector<std::string>& models,
     }
     out += dataset;
     for (const std::string& m : models) {
-      const LeaderboardRecord* r = Find(m, dataset, task, setting, metric);
+      const LeaderboardRecord* r =
+          FindLocked(m, dataset, task, setting, metric);
       out += "\t";
       if (r == nullptr) {
         out += "-";
@@ -162,6 +187,7 @@ std::string Leaderboard::FormatTable(const std::vector<std::string>& models,
 }
 
 std::string Leaderboard::ToMarkdown() const {
+  base::MutexLock lock(mutex_);
   std::string out =
       "| Model | Dataset | Task | Setting | Metric | Mean | Std | Note |\n"
       "|---|---|---|---|---|---|---|---|\n";

@@ -1,9 +1,11 @@
 #ifndef BENCHTEMP_CORE_LEADERBOARD_H_
 #define BENCHTEMP_CORE_LEADERBOARD_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace benchtemp::core {
 
@@ -25,16 +27,24 @@ struct LeaderboardRecord {
 /// The pipeline's Leaderboard module: collects run results, ranks models,
 /// and renders paper-style tables.
 ///
-/// Add(), Clear(), and the CSV writers take an internal mutex so concurrent
-/// bench workers (the runtime pool's per-model dispatch) can record results
-/// without interleaving rows. The read accessors are unsynchronized: query
-/// and format only after the parallel phase has joined.
+/// Every member takes an internal mutex so concurrent bench workers (the
+/// runtime pool's per-model dispatch) can record results without
+/// interleaving rows, and queries racing a late worker read a consistent
+/// snapshot. The one exception is records(), which hands out an unguarded
+/// reference for zero-copy iteration and is only valid after the parallel
+/// phase has joined.
 class Leaderboard {
  public:
   void Add(LeaderboardRecord record);
   void Clear();
 
-  const std::vector<LeaderboardRecord>& records() const { return records_; }
+  /// Borrowed view of the rows. Unsynchronized by design — callers iterate
+  /// zero-copy after the parallel phase has joined, when no writer exists;
+  /// taking the mutex here could not protect the returned reference anyway.
+  const std::vector<LeaderboardRecord>& records() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return records_;
+  }
 
   /// Writes every record as one CSV row (with a header) to `path`,
   /// truncating any previous contents. Returns false when the file cannot
@@ -78,16 +88,26 @@ class Leaderboard {
   std::string ToMarkdown() const;
 
  private:
-  /// Guards records_ mutations and file writes against concurrent workers.
-  mutable std::mutex mutex_;
-  std::vector<LeaderboardRecord> records_;
+  /// Guards records_ mutations, queries, and file writes against concurrent
+  /// workers.
+  mutable base::Mutex mutex_;
+  std::vector<LeaderboardRecord> records_ GUARDED_BY(mutex_);
 
-  std::string ToCsvLocked() const;
-  const LeaderboardRecord* Find(const std::string& model,
-                                const std::string& dataset,
-                                const std::string& task,
-                                const std::string& setting,
-                                const std::string& metric) const;
+  std::string ToCsvLocked() const REQUIRES(mutex_);
+  std::vector<LeaderboardRecord> SelectLocked(const std::string& dataset,
+                                              const std::string& task,
+                                              const std::string& setting,
+                                              const std::string& metric) const
+      REQUIRES(mutex_);
+  int RankLocked(const std::string& model, const std::string& dataset,
+                 const std::string& task, const std::string& setting,
+                 const std::string& metric) const REQUIRES(mutex_);
+  const LeaderboardRecord* FindLocked(const std::string& model,
+                                      const std::string& dataset,
+                                      const std::string& task,
+                                      const std::string& setting,
+                                      const std::string& metric) const
+      REQUIRES(mutex_);
 };
 
 }  // namespace benchtemp::core

@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "base/fault_injector.h"
 #include "core/early_stop.h"
 #include "core/evaluator.h"
 #include "graph/neighbor_finder.h"
@@ -18,7 +19,6 @@
 #include "pipeline/pipeline.h"
 #include "robustness/checkpoint.h"
 #include "robustness/lineage.h"
-#include "robustness/fault_injector.h"
 #include "tensor/kernels/arena.h"
 #include "tensor/optimizer.h"
 #include "tensor/random.h"
@@ -125,8 +125,8 @@ bool Canceled(const TrainConfig& tc) {
 /// watchdog still trips either way: the consumer's Next() polls the cancel
 /// token while it waits for the stalled slot.
 void ProbeStallFault() {
-  auto& injector = robustness::FaultInjector::Global();
-  if (injector.Fire(robustness::FaultSite::kStallBatch)) {
+  auto& injector = base::FaultInjector::Global();
+  if (injector.Fire(base::FaultSite::kStallBatch)) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(injector.stall_ms()));
   }
@@ -136,8 +136,8 @@ void ProbeStallFault() {
 /// exception propagates to the sweep's job boundary (not into a pool
 /// worker).
 void ProbeThrowFault() {
-  auto& injector = robustness::FaultInjector::Global();
-  if (injector.Fire(robustness::FaultSite::kThrowForward)) {
+  auto& injector = base::FaultInjector::Global();
+  if (injector.Fire(base::FaultSite::kThrowForward)) {
     throw std::runtime_error("injected fault: forward pass");
   }
 }
@@ -415,8 +415,8 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
             // poison the parameters — bail out before touching them.
             finite = tensor::AllFinite(loss->value);
           }
-          if (robustness::FaultInjector::Global().Fire(
-                  robustness::FaultSite::kNanLoss)) {
+          if (base::FaultInjector::Global().Fire(
+                  base::FaultSite::kNanLoss)) {
             finite = false;
           }
           if (!finite) {

@@ -8,14 +8,14 @@
 #include <sstream>
 #include <utility>
 
-#include "robustness/fault_injector.h"
+#include "base/fault_injector.h"
 
 namespace benchtemp::io {
 
 namespace {
 
-using robustness::FaultInjector;
-using robustness::FaultSite;
+using base::FaultInjector;
+using base::FaultSite;
 
 }  // namespace
 

@@ -83,19 +83,19 @@ int64_t MetricRegistry::value(Counter counter) const {
 
 void MetricRegistry::SetGauge(const std::string& name, double value) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   gauges_[name] = value;
 }
 
 std::vector<std::pair<std::string, double>> MetricRegistry::gauges() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   return {gauges_.begin(), gauges_.end()};  // std::map: already sorted
 }
 
 MetricRegistry::ThreadSlot* MetricRegistry::SlotForThisThread() {
   thread_local ThreadSlot* slot = nullptr;
   if (slot == nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     slots_.push_back(std::make_unique<ThreadSlot>());
     slot = slots_.back().get();
   }
@@ -125,7 +125,7 @@ void MetricRegistry::DrainThisThread(PhaseTotals* into) {
       into->count[i] += drained.count[i];
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   for (int p = 0; p < kNumPhases; ++p) {
     const size_t i = static_cast<size_t>(p);
     merged_.seconds[i] += drained.seconds[i];
@@ -134,7 +134,7 @@ void MetricRegistry::DrainThisThread(PhaseTotals* into) {
 }
 
 PhaseTotals MetricRegistry::phase_totals() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   for (const std::unique_ptr<ThreadSlot>& slot : slots_) {
     for (int p = 0; p < kNumPhases; ++p) {
       const size_t i = static_cast<size_t>(p);
@@ -148,12 +148,12 @@ PhaseTotals MetricRegistry::phase_totals() {
 
 void MetricRegistry::AppendRun(const RunRecord& run) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   runs_.push_back(run);
 }
 
 std::vector<RunRecord> MetricRegistry::runs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   return runs_;
 }
 
@@ -175,7 +175,7 @@ void MetricRegistry::Reset() {
   for (auto& counter : counters_) {
     counter.store(0, std::memory_order_relaxed);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   gauges_.clear();
   runs_.clear();
   merged_ = PhaseTotals();

@@ -19,10 +19,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace benchtemp::obs {
 
@@ -161,12 +163,15 @@ class MetricRegistry {
 
   ThreadSlot* SlotForThisThread();
 
+  /// Counters are relaxed atomics — deliberately outside the mutex: every
+  /// counted quantity is a pure function of the job stream, so racy
+  /// interleavings of fetch_add still converge to the same totals.
   std::array<std::atomic<int64_t>, kNumCounters> counters_{};
-  mutable std::mutex mutex_;  // guards everything below
-  std::map<std::string, double> gauges_;
-  std::vector<RunRecord> runs_;
-  std::vector<std::unique_ptr<ThreadSlot>> slots_;
-  PhaseTotals merged_;
+  mutable base::Mutex mutex_;
+  std::map<std::string, double> gauges_ GUARDED_BY(mutex_);
+  std::vector<RunRecord> runs_ GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<ThreadSlot>> slots_ GUARDED_BY(mutex_);
+  PhaseTotals merged_ GUARDED_BY(mutex_);
 };
 
 /// RAII phase timer: measures the enclosed scope into the calling thread's

@@ -1,13 +1,12 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <utility>
 
+#include "base/check.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
-#include "tensor/numeric.h"
 
 namespace benchtemp::pipeline {
 
@@ -28,16 +27,17 @@ BatchPrefetcher::BatchPrefetcher(int64_t num_batches, int depth,
       depth_(std::max(depth, 0)),
       prepare_(std::move(prepare)),
       cancel_(cancel) {
-  tensor::CheckOrDie(prepare_ != nullptr, "BatchPrefetcher: null prepare fn");
+  base::CheckOrDie(prepare_ != nullptr, "BatchPrefetcher: null prepare fn");
   async_ = depth_ > 0 && num_batches_ > 0 &&
            runtime::ThreadPool::Global().has_workers() &&
            !runtime::ThreadPool::Global().InWorker();
   if (!async_) return;
-  slots_.resize(static_cast<size_t>(
-      std::min<int64_t>(depth_, num_batches_)));
-  for (int64_t i = 0; i < static_cast<int64_t>(slots_.size()); ++i) {
-    Schedule(i);
+  window_ = std::min<int64_t>(depth_, num_batches_);
+  {
+    base::MutexLock lock(mutex_);
+    slots_.resize(static_cast<size_t>(window_));
   }
+  for (int64_t i = 0; i < window_; ++i) Schedule(i);
 }
 
 BatchPrefetcher::~BatchPrefetcher() {
@@ -45,19 +45,24 @@ BatchPrefetcher::~BatchPrefetcher() {
   // Drain: producers always transition kPending -> kReady (even when the
   // job was canceled), so waiting them out is bounded. Their results are
   // simply discarded with the prefetcher — never checkpointed.
-  std::unique_lock<std::mutex> lock(mutex_);
-  ready_cv_.wait(lock, [&] {
+  base::MutexLock lock(mutex_);
+  for (;;) {
+    bool pending = false;
     for (const Slot& s : slots_) {
-      if (s.state == SlotState::kPending) return false;
+      if (s.state == SlotState::kPending) {
+        pending = true;
+        break;
+      }
     }
-    return true;
-  });
+    if (!pending) break;
+    ready_cv_.Wait(mutex_);
+  }
 }
 
 void BatchPrefetcher::Schedule(int64_t index) {
-  Slot& slot = slots_[static_cast<size_t>(index % slots_.size())];
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
+    Slot& slot = slots_[static_cast<size_t>(index % window_)];
     slot.state = SlotState::kPending;
     slot.error = nullptr;
   }
@@ -80,8 +85,8 @@ void BatchPrefetcher::Produce(int64_t index) {
     elapsed = NowSeconds() - start;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    Slot& slot = slots_[static_cast<size_t>(index % slots_.size())];
+    base::MutexLock lock(mutex_);
+    Slot& slot = slots_[static_cast<size_t>(index % window_)];
     slot.batch = std::move(batch);
     slot.error = error;
     slot.state = SlotState::kReady;
@@ -89,7 +94,7 @@ void BatchPrefetcher::Produce(int64_t index) {
     // Notify under the lock: the destructor destroys this cv as soon as it
     // observes no kPending slot, so the publish and the notify must be one
     // atomic step from its point of view.
-    ready_cv_.notify_all();
+    ready_cv_.NotifyAll();
   }
 }
 
@@ -102,7 +107,10 @@ bool BatchPrefetcher::Next(PreparedBatch* out) {
     *out = prepare_(index);
     const double elapsed = NowSeconds() - start;
     // Synchronous mode: the consumer pays the whole prepare, so the same
-    // time lands on both sides of the overlap ratio (ratio 0).
+    // time lands on both sides of the overlap ratio (ratio 0). No producer
+    // exists, but stats() may be polled from a watchdog/metrics thread, so
+    // the accounting still updates under the lock.
+    base::MutexLock lock(mutex_);
     stats_.prepare_seconds += elapsed;
     stats_.wait_seconds += elapsed;
     ++stats_.batches;
@@ -112,8 +120,8 @@ bool BatchPrefetcher::Next(PreparedBatch* out) {
   std::exception_ptr error;
   bool was_ready = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    Slot& slot = slots_[static_cast<size_t>(index % slots_.size())];
+    base::MutexLock lock(mutex_);
+    Slot& slot = slots_[static_cast<size_t>(index % window_)];
     was_ready = slot.state == SlotState::kReady;
     if (!was_ready) {
       const double start = NowSeconds();
@@ -121,7 +129,7 @@ bool BatchPrefetcher::Next(PreparedBatch* out) {
         if (canceled()) return false;
         // Bounded waits keep the consumer polling the watchdog token, so a
         // stalled producer cannot outlive the job's deadline.
-        ready_cv_.wait_for(lock, std::chrono::milliseconds(10));
+        ready_cv_.WaitForMs(mutex_, 10);
       }
       stats_.wait_seconds += NowSeconds() - start;
     }
@@ -135,7 +143,7 @@ bool BatchPrefetcher::Next(PreparedBatch* out) {
   ++next_index_;
   // Consumer-driven backpressure: freeing slot (index % depth) admits
   // exactly one more batch into the window.
-  const int64_t upcoming = index + static_cast<int64_t>(slots_.size());
+  const int64_t upcoming = index + window_;
   if (upcoming < num_batches_ && !canceled()) Schedule(upcoming);
   if (error) std::rethrow_exception(error);
   // A producer that saw the cancel token skips the prepare and publishes an
@@ -146,7 +154,7 @@ bool BatchPrefetcher::Next(PreparedBatch* out) {
 }
 
 PipelineStats BatchPrefetcher::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   return stats_;
 }
 

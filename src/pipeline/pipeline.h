@@ -14,14 +14,14 @@
 // computes. BENCHTEMP_PIPELINE selects the depth (0 = synchronous).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "models/model.h"
 
 namespace benchtemp::pipeline {
@@ -120,12 +120,16 @@ class BatchPrefetcher {
   const PrepareFn prepare_;
   const std::atomic<bool>* const cancel_;
   bool async_ = false;
+  /// Consumer-thread cursor; Next() is single-consumer by contract, so this
+  /// never races and is not guarded.
   int64_t next_index_ = 0;
+  /// Slot-ring size; fixed in the constructor before any producer exists.
+  int64_t window_ = 0;
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_cv_;
-  std::vector<Slot> slots_;
-  PipelineStats stats_;
+  mutable base::Mutex mutex_;
+  base::CondVar ready_cv_;
+  std::vector<Slot> slots_ GUARDED_BY(mutex_);
+  PipelineStats stats_ GUARDED_BY(mutex_);
 };
 
 /// Pipeline depth from BENCHTEMP_PIPELINE: unset/empty -> 2 (the default

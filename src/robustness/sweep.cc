@@ -4,10 +4,10 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
+#include "base/mutex.h"
 #include "io/file.h"
 #include "obs/metrics.h"
 #include "robustness/checkpoint.h"
@@ -166,7 +166,7 @@ SweepReport RunSweep(const std::vector<SweepJob>& jobs,
     }
   }
 
-  std::mutex manifest_mutex;
+  base::Mutex manifest_mutex;
   auto run_one = [&](size_t i) {
     const SweepJob& job = jobs[i];
     SweepJobResult result;
@@ -204,7 +204,7 @@ SweepReport RunSweep(const std::vector<SweepJob>& jobs,
       }
     }
     if (stateful) {
-      std::lock_guard<std::mutex> lock(manifest_mutex);
+      base::MutexLock lock(manifest_mutex);
       manifest.Commit(result);
     }
     results[i] = std::move(result);

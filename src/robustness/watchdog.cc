@@ -8,16 +8,16 @@ namespace benchtemp::robustness {
 
 Watchdog::~Watchdog() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     shutdown_ = true;
     armed_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void Watchdog::Arm(double seconds, std::function<void()> on_expire) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   expired_.store(false, std::memory_order_relaxed);
   on_expire_ = std::move(on_expire);
   deadline_ = std::chrono::steady_clock::now() +
@@ -29,38 +29,48 @@ void Watchdog::Arm(double seconds, std::function<void()> on_expire) {
     // btlint: allow(adhoc-parallelism)
     thread_ = std::thread([this] { Run(); });
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Watchdog::Disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   armed_ = false;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Watchdog::Run() {
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    cv_.wait(lock, [this] { return armed_ || shutdown_; });
-    if (shutdown_) return;
-    // Armed: sleep until the deadline, a disarm, a re-arm (which moves the
-    // deadline), or shutdown.
-    const auto target = deadline_;
-    const bool state_changed = cv_.wait_until(
-        lock, target,
-        [this, target] { return !armed_ || shutdown_ || deadline_ != target; });
-    if (state_changed) continue;  // re-evaluate from the top
-    // Deadline passed while still armed.
-    armed_ = false;
-    expired_.store(true, std::memory_order_relaxed);
-    obs::MetricRegistry::Global().Add(obs::Counter::kWatchdogFires, 1);
-    std::function<void()> callback = std::move(on_expire_);
-    on_expire_ = nullptr;
-    if (callback) {
-      lock.unlock();
-      callback();
-      lock.lock();
+    std::function<void()> callback;
+    {
+      base::MutexLock lock(mutex_);
+      while (!(armed_ || shutdown_)) cv_.Wait(mutex_);
+      if (shutdown_) return;
+      // Armed: sleep until the deadline, a disarm, a re-arm (which moves
+      // the deadline), or shutdown.
+      const auto target = deadline_;
+      bool state_changed = false;
+      for (;;) {
+        if (!armed_ || shutdown_ || deadline_ != target) {
+          state_changed = true;
+          break;
+        }
+        if (!cv_.WaitUntil(mutex_, target)) {
+          // Timed out; one final predicate check under the lock decides
+          // between a genuine expiry and a last-instant state change.
+          state_changed = !armed_ || shutdown_ || deadline_ != target;
+          break;
+        }
+      }
+      if (state_changed) continue;  // re-evaluate from the top
+      // Deadline passed while still armed.
+      armed_ = false;
+      expired_.store(true, std::memory_order_relaxed);
+      obs::MetricRegistry::Global().Add(obs::Counter::kWatchdogFires, 1);
+      callback = std::move(on_expire_);
+      on_expire_ = nullptr;
     }
+    // The callback runs outside the lock so it may call Arm()/Disarm().
+    if (callback) callback();
   }
 }
 

@@ -3,10 +3,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace benchtemp::robustness {
 
@@ -46,13 +47,16 @@ class Watchdog {
  private:
   void Run();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  base::Mutex mutex_;
+  base::CondVar cv_;
+  /// Spawned under the mutex by the first Arm(); joined by the destructor
+  /// after every other accessor is gone, so the handle itself needs no
+  /// guard.
   std::thread thread_;  // btlint: allow(adhoc-parallelism)
-  std::function<void()> on_expire_;
-  std::chrono::steady_clock::time_point deadline_;
-  bool armed_ = false;
-  bool shutdown_ = false;
+  std::function<void()> on_expire_ GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point deadline_ GUARDED_BY(mutex_);
+  bool armed_ GUARDED_BY(mutex_) = false;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
   std::atomic<bool> expired_{false};
 };
 

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "base/check.h"
 #include "obs/metrics.h"
-#include "tensor/tensor.h"
 
 namespace benchtemp::runtime {
 
@@ -49,17 +49,22 @@ void ThreadPool::StartWorkers(int count) {
 
 void ThreadPool::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  shutdown_ = false;
   // Workers honor shutdown before draining the async queue, so tasks may
   // remain; run them inline to keep the exactly-once guarantee of Post().
+  // The swap happens under the lock even though workers are joined — the
+  // guard is cheap and keeps the annotation contract unconditional.
   std::deque<std::function<void()>> leftover;
-  leftover.swap(tasks_);
+  {
+    base::MutexLock lock(mutex_);
+    shutdown_ = false;
+    leftover.swap(tasks_);
+  }
   for (std::function<void()>& task : leftover) task();
 }
 
@@ -70,15 +75,18 @@ void ThreadPool::Post(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::SetNumThreads(int num_threads) {
-  tensor::CheckOrDie(job_ == nullptr,
+  {
+    base::MutexLock lock(mutex_);
+    base::CheckOrDie(job_ == nullptr,
                      "ThreadPool::SetNumThreads: pool is busy");
+  }
   StopWorkers();
   StartWorkers(std::max(num_threads, 1) - 1);
 }
@@ -93,7 +101,7 @@ void ThreadPool::RunChunks(Job& job) {
       (*job.fn)(chunk);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(job.error_mutex);
+        base::MutexLock lock(job.error_mutex);
         if (!job.error) job.error = std::current_exception();
       }
       // Cancel the chunks nobody claimed yet; the caller rethrows.
@@ -110,11 +118,11 @@ void ThreadPool::WorkerLoop() {
     Job* job = nullptr;
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || !tasks_.empty() ||
-               (job_ != nullptr && generation_ != seen_generation);
-      });
+      base::MutexLock lock(mutex_);
+      while (!(shutdown_ || !tasks_.empty() ||
+               (job_ != nullptr && generation_ != seen_generation))) {
+        work_cv_.Wait(mutex_);
+      }
       if (shutdown_) return;
       if (job_ != nullptr && generation_ != seen_generation) {
         // Blocking Run() callers take priority over background tasks so
@@ -133,10 +141,10 @@ void ThreadPool::WorkerLoop() {
     }
     RunChunks(*job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       job->entered.fetch_sub(1);
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -153,20 +161,25 @@ void ThreadPool::Run(int64_t num_chunks,
   job.num_chunks = num_chunks;
   job.fn = &chunk_fn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     job_ = &job;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunChunks(job);
   {
     // All chunks are claimed once the caller's RunChunks returns; wait for
     // workers still executing theirs before the stack Job dies.
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return job.entered.load() == 0; });
+    base::MutexLock lock(mutex_);
+    while (job.entered.load() != 0) done_cv_.Wait(mutex_);
     job_ = nullptr;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  std::exception_ptr error;
+  {
+    base::MutexLock lock(job.error_mutex);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,

@@ -2,14 +2,15 @@
 #define BENCHTEMP_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace benchtemp::runtime {
 
@@ -75,8 +76,8 @@ class ThreadPool {
     /// Workers currently inside RunChunks — the job may not be torn down
     /// until this drops to zero.
     std::atomic<int> entered{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
+    base::Mutex error_mutex;
+    std::exception_ptr error GUARDED_BY(error_mutex);
   };
 
   void WorkerLoop();
@@ -84,14 +85,16 @@ class ThreadPool {
   void StartWorkers(int count);
   void StopWorkers();
 
+  /// Mutated only by the owning thread (constructor / SetNumThreads, which
+  /// requires the pool idle), so not guarded by mutex_.
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<std::function<void()>> tasks_;
-  Job* job_ = nullptr;
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  base::Mutex mutex_;
+  base::CondVar work_cv_;
+  base::CondVar done_cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  Job* job_ GUARDED_BY(mutex_) = nullptr;
+  uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 /// Resolved BENCHTEMP_NUM_THREADS (or hardware concurrency) — the size the

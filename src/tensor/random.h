@@ -5,19 +5,17 @@
 #include <random>
 #include <vector>
 
+#include "base/splitmix.h"
+
 namespace benchtemp::tensor {
 
-/// SplitMix64 finalizer: derives a decorrelated stream seed from a base
-/// seed and an index. This is the repo-wide keying primitive behind every
+/// SplitMix64 finalizer: the repo-wide keying primitive behind every
 /// "per-X stream" determinism contract (per-root walk streams, per-batch
 /// negative sampling / prefetch seeds): the derived value depends only on
-/// (seed, index), never on call order or thread count.
-inline uint64_t SplitMix64(uint64_t seed, uint64_t index) {
-  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+/// (seed, index), never on call order or thread count. The implementation
+/// lives in base/splitmix.h (the bottom layer) so the fault injector and
+/// I/O shim can draw from the same streams without an upward include.
+using base::SplitMix64;
 
 /// Deterministic pseudo-random number source.
 ///

@@ -1,8 +1,5 @@
 #include "tensor/tensor.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "tensor/random.h"
 
 namespace benchtemp::tensor {
@@ -16,13 +13,6 @@ int64_t Volume(const std::vector<int64_t>& shape) {
 }
 
 }  // namespace
-
-void CheckOrDie(bool condition, const char* message) {
-  if (!condition) {
-    std::fprintf(stderr, "benchtemp check failed: %s\n", message);
-    std::abort();
-  }
-}
 
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
   for (int64_t d : shape_) CheckOrDie(d >= 0, "negative tensor dimension");

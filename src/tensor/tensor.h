@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "base/check.h"
+
 namespace benchtemp::tensor {
 
 class Rng;
@@ -109,8 +111,10 @@ class Tensor {
 };
 
 /// Aborts with a message if `condition` is false. Used for programmer errors
-/// (shape mismatches etc.); the library does not throw exceptions.
-void CheckOrDie(bool condition, const char* message);
+/// (shape mismatches etc.); the library does not throw exceptions. The
+/// implementation lives in base/check.h so layers below tensor (the runtime
+/// pool) can assert invariants without an upward include.
+using base::CheckOrDie;
 
 }  // namespace benchtemp::tensor
 

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_VALUE_H_
+#define FIXTURE_VALUE_H_
+struct Value {
+  int amount = 0;
+};
+#endif

@@ -1,0 +1,4 @@
+#include "core/sum.h"
+int Sum(const Value& a, const Value& b) {
+  return a.amount + b.amount;
+}

@@ -1,0 +1,5 @@
+#ifndef FIXTURE_SUM_H_
+#define FIXTURE_SUM_H_
+#include "base/value.h"
+int Sum(const Value& a, const Value& b);
+#endif

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_A_H_
+#define FIXTURE_A_H_
+#include "base/b.h"  // expect: include-cycle (via b.h -> a.h)
+struct A {
+  B* peer = nullptr;
+};
+#endif

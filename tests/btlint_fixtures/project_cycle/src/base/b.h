@@ -1,0 +1,7 @@
+#ifndef FIXTURE_B_H_
+#define FIXTURE_B_H_
+#include "base/a.h"
+struct B {
+  A* peer = nullptr;
+};
+#endif

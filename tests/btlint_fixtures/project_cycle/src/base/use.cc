@@ -1,0 +1,9 @@
+#include "base/a.h"
+#include "base/b.h"
+int Use() {
+  A a;
+  B b;
+  a.peer = &b;
+  b.peer = &a;
+  return 0;
+}

@@ -1,0 +1,7 @@
+// expect: orphan-header — nothing in the tree includes this file.
+#ifndef FIXTURE_DEAD_H_
+#define FIXTURE_DEAD_H_
+struct Dead {
+  int value = 0;
+};
+#endif

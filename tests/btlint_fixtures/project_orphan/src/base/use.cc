@@ -1,0 +1,5 @@
+#include "base/wired.h"
+int Use() {
+  Wired w;
+  return w.value;
+}

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_WIRED_H_
+#define FIXTURE_WIRED_H_
+struct Wired {
+  int value = 0;
+};
+#endif

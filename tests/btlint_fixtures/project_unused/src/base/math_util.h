@@ -1,0 +1,6 @@
+#ifndef FIXTURE_MATH_UTIL_H_
+#define FIXTURE_MATH_UTIL_H_
+struct MathUtil {
+  double scale = 1.0;
+};
+#endif

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_STRING_UTIL_H_
+#define FIXTURE_STRING_UTIL_H_
+struct StringUtil {
+  int width = 0;
+};
+#endif

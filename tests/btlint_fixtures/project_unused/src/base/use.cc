@@ -1,0 +1,6 @@
+#include "base/math_util.h"
+#include "base/string_util.h"  // expect: unused-include
+double Use() {
+  MathUtil m;
+  return m.scale;
+}

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_CLOCK_H_
+#define FIXTURE_CLOCK_H_
+#include "core/engine.h"  // expect: layering-violation (base -> core)
+struct Clock {
+  Engine engine;
+};
+#endif

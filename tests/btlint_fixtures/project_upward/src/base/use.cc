@@ -1,0 +1,5 @@
+#include "base/clock.h"
+int Use() {
+  Clock c;
+  return c.engine.ticks;
+}

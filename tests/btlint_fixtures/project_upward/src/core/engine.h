@@ -1,0 +1,6 @@
+#ifndef FIXTURE_ENGINE_H_
+#define FIXTURE_ENGINE_H_
+struct Engine {
+  int ticks = 0;
+};
+#endif

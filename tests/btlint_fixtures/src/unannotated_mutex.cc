@@ -1,0 +1,34 @@
+// Fixture: a class holding a mutex whose data members carry no GUARDED_BY —
+// the unannotated-mutex rule must fire on the mutex member's line.
+#include <mutex>
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class UnannotatedRegistry {
+ public:
+  void Record(const std::string& name, double value);
+  double Total() const;
+
+ private:
+  mutable std::mutex mutex_;  // expect: unannotated-mutex
+  std::vector<std::string> names_;
+  double total_ = 0.0;
+};
+
+// A fully annotated sibling must stay silent even with a fake GUARDED_BY
+// macro (the rule keys on the attribute spelling, not the definition).
+#define GUARDED_BY(x)
+
+class AnnotatedRegistry {
+ public:
+  void Record(double value);
+
+ private:
+  mutable std::mutex mutex_;
+  double total_ GUARDED_BY(mutex_) = 0.0;
+};
+
+}  // namespace fixture

@@ -15,10 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include "tools/btlint/project.h"
+
 namespace {
 
 using btlint::Finding;
 using btlint::LintFile;
+using btlint::LintProject;
+using btlint::ParseLayerSpec;
+using btlint::ProjectFile;
 
 #ifndef BTLINT_FIXTURE_DIR
 #error "BTLINT_FIXTURE_DIR must point at tests/btlint_fixtures"
@@ -46,13 +51,20 @@ std::multiset<std::string> RuleIds(const std::vector<Finding>& findings) {
   return ids;
 }
 
-TEST(BtlintCatalogTest, TwelveRulesWithUniqueIds) {
+TEST(BtlintCatalogTest, SeventeenRulesWithUniqueIds) {
   const auto& rules = btlint::Rules();
-  EXPECT_EQ(rules.size(), 12u);
+  EXPECT_EQ(rules.size(), 17u);
   std::set<std::string> ids;
   for (const auto& r : rules) {
     EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
     EXPECT_FALSE(std::string(r.summary).empty());
+  }
+  // The cross-TU rules must be in the catalog so --list-rules documents
+  // the full --project surface.
+  for (const char* id : {"layering-violation", "include-cycle",
+                         "orphan-header", "unused-include",
+                         "unannotated-mutex"}) {
+    EXPECT_EQ(ids.count(id), 1u) << "missing rule " << id;
   }
 }
 
@@ -241,6 +253,222 @@ TEST(BtlintSuppressionTest, AllowCoversOnlyItsLine) {
   const auto findings = LintFile("src/f.cc", source);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(BtlintRuleTest, UnannotatedMutexFiresOnceAndSkipsAnnotated) {
+  const auto findings = LintFixture("src/unannotated_mutex.cc");
+  // UnannotatedRegistry fires at its mutex member; AnnotatedRegistry (one
+  // GUARDED_BY member) stays silent.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unannotated-mutex");
+  EXPECT_EQ(findings[0].line, 16);
+}
+
+TEST(BtlintRuleTest, UnannotatedMutexIgnoresMutexOnlyAndAtomicClasses) {
+  // A lock wrapper with no plain data members is fine, and so is a class
+  // whose other members are atomics (they need no lock).
+  EXPECT_TRUE(LintFile("src/base/wrapper.h",
+                       "#pragma once\n"
+                       "#include <mutex>\n"
+                       "class Wrapper {\n"
+                       " private:\n"
+                       "  std::mutex mutex_;\n"
+                       "};\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("src/base/counter.h",
+                       "#pragma once\n"
+                       "#include <atomic>\n"
+                       "#include <mutex>\n"
+                       "class Counter {\n"
+                       " private:\n"
+                       "  std::mutex mutex_;\n"
+                       "  std::atomic<int> hits_{0};\n"
+                       "};\n")
+                  .empty());
+}
+
+TEST(BtlintRuleTest, UnannotatedMutexSuppressible) {
+  const std::string source =
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "class Lazy {\n"
+      " private:\n"
+      "  // btlint: allow(unannotated-mutex)\n"
+      "  std::mutex mutex_;\n"
+      "  int value_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(LintFile("src/base/lazy.h", source).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-TU (--project) rules, driven directly through LintProject.
+// ---------------------------------------------------------------------------
+
+const char kTwoLayerSpec[] = "layer base\nlayer core\n";
+
+TEST(BtlintLayerSpecTest, ParsesLayersAllowsAndComments) {
+  const auto spec = ParseLayerSpec(
+      "# comment\n"
+      "layer base\n"
+      "layer core  # trailing comment\n"
+      "allow base core # rationale\n"
+      "\n"
+      "bogus line here\n");
+  ASSERT_EQ(spec.order.size(), 2u);
+  EXPECT_EQ(spec.order[0], "base");
+  EXPECT_EQ(spec.order[1], "core");
+  ASSERT_EQ(spec.allowed.size(), 1u);
+  EXPECT_EQ(spec.allowed[0].first, "base");
+  EXPECT_EQ(spec.allowed[0].second, "core");
+  ASSERT_EQ(spec.errors.size(), 1u);
+  EXPECT_EQ(spec.errors[0].first, 6);
+}
+
+TEST(BtlintProjectTest, UpwardIncludeFiresAndAllowEdgeSilences) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/clock.h",
+       "#pragma once\n#include \"core/engine.h\"\nstruct Clock { Engine e; "
+       "};\n"},
+      {"src/core/engine.h", "#pragma once\nstruct Engine { int t = 0; };\n"},
+      {"src/core/use.cc",
+       "#include \"core/engine.h\"\n#include \"base/clock.h\"\n"
+       "int U() { Clock c; Engine e; return c.e.t + e.t; }\n"},
+  };
+  const auto findings = LintProject(files, kTwoLayerSpec);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering-violation");
+  EXPECT_EQ(findings[0].path, "src/base/clock.h");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_TRUE(
+      LintProject(files, "layer base\nlayer core\nallow base core\n").empty());
+}
+
+TEST(BtlintProjectTest, DownwardIncludeIsClean) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/value.h", "#pragma once\nstruct Value { int a = 0; };\n"},
+      {"src/core/sum.h",
+       "#pragma once\n#include \"base/value.h\"\nint Sum(const Value& v);\n"},
+      {"src/core/sum.cc",
+       "#include \"core/sum.h\"\nint Sum(const Value& v) { return v.a; }\n"},
+  };
+  EXPECT_TRUE(LintProject(files, kTwoLayerSpec).empty());
+}
+
+TEST(BtlintProjectTest, UndeclaredDirectoryReportedAgainstSpec) {
+  const std::vector<ProjectFile> files = {
+      {"src/rogue/thing.h", "#pragma once\nstruct Thing { int v = 0; };\n"},
+      {"src/rogue/thing.cc",
+       "#include \"rogue/thing.h\"\nint V() { Thing t; return t.v; }\n"},
+  };
+  const auto findings = LintProject(files, kTwoLayerSpec);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering-violation");
+  EXPECT_EQ(findings[0].path, "btlint.layers");
+  EXPECT_NE(findings[0].message.find("rogue"), std::string::npos);
+}
+
+TEST(BtlintProjectTest, IncludeCycleReportedOnceWithPath) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/a.h",
+       "#pragma once\n#include \"base/b.h\"\nstruct A { B* b; };\n"},
+      {"src/base/b.h",
+       "#pragma once\n#include \"base/a.h\"\nstruct B { A* a; };\n"},
+      {"src/base/use.cc",
+       "#include \"base/a.h\"\n#include \"base/b.h\"\n"
+       "int U() { A a; B b; a.b = &b; b.a = &a; return 0; }\n"},
+  };
+  const auto findings = LintProject(files, "layer base\n");
+  ASSERT_EQ(findings.size(), 1u);  // one cycle, found from two entry points
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_NE(findings[0].message.find("src/base/a.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/base/b.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find(" -> "), std::string::npos);
+}
+
+TEST(BtlintProjectTest, OrphanHeaderFiresOnlyOnUnincluded) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/wired.h", "#pragma once\nstruct Wired { int v = 0; };\n"},
+      {"src/base/dead.h", "#pragma once\nstruct Dead { int v = 0; };\n"},
+      {"src/base/use.cc",
+       "#include \"base/wired.h\"\nint U() { Wired w; return w.v; }\n"},
+  };
+  const auto findings = LintProject(files, "layer base\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "orphan-header");
+  EXPECT_EQ(findings[0].path, "src/base/dead.h");
+}
+
+TEST(BtlintProjectTest, UnusedIncludeFiresAndPairedHeaderExempt) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/math_util.h",
+       "#pragma once\nstruct MathUtil { double s = 1.0; };\n"},
+      {"src/base/string_util.h",
+       "#pragma once\nstruct StringUtil { int w = 0; };\n"},
+      // use.cc references MathUtil but nothing from string_util.h.
+      {"src/base/use.cc",
+       "#include \"base/math_util.h\"\n#include \"base/string_util.h\"\n"
+       "double U() { MathUtil m; return m.s; }\n"},
+      // file.cc's include of its own header is definitionally required
+      // even though the .cc adds no new references to its exports.
+      {"src/base/file.h", "#pragma once\nvoid Touch();\n"},
+      {"src/base/file.cc", "#include \"base/file.h\"\nvoid Touch() {}\n"},
+  };
+  const auto findings = LintProject(files, "layer base\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unused-include");
+  EXPECT_EQ(findings[0].path, "src/base/use.cc");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(BtlintProjectTest, SuppressionsApplyToProjectFindings) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/clock.h",
+       "#pragma once\n"
+       "// btlint: allow(layering-violation)\n"
+       "#include \"core/engine.h\"\n"
+       "struct Clock { Engine e; };\n"},
+      {"src/core/engine.h", "#pragma once\nstruct Engine { int t = 0; };\n"},
+      {"src/core/use.cc",
+       "#include \"base/clock.h\"\n#include \"core/engine.h\"\n"
+       "int U() { Clock c; Engine e; return c.e.t + e.t; }\n"},
+  };
+  EXPECT_TRUE(LintProject(files, kTwoLayerSpec).empty());
+}
+
+TEST(BtlintProjectTest, EmptySpecDisablesLayeringOnly) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/clock.h",
+       "#pragma once\n#include \"core/engine.h\"\nstruct Clock { Engine e; "
+       "};\n"},
+      {"src/core/engine.h", "#pragma once\nstruct Engine { int t = 0; };\n"},
+      {"src/core/use.cc",
+       "#include \"base/clock.h\"\n#include \"core/engine.h\"\n"
+       "int U() { Clock c; Engine e; return c.e.t + e.t; }\n"},
+      {"src/base/dead.h", "#pragma once\nstruct Dead { int v = 0; };\n"},
+  };
+  const auto findings = LintProject(files, "");
+  ASSERT_EQ(findings.size(), 1u);  // orphan still runs; layering does not
+  EXPECT_EQ(findings[0].rule, "orphan-header");
+}
+
+TEST(BtlintProjectTest, GoldenJsonForProjectFindings) {
+  const std::vector<ProjectFile> files = {
+      {"src/base/dead.h", "#pragma once\nstruct Dead { int v = 0; };\n"},
+      {"src/base/live.cc", "int L() { return 0; }\n"},
+  };
+  const auto findings = LintProject(files, "layer base\n");
+  EXPECT_EQ(btlint::ToJson(findings),
+            "{\n"
+            "  \"version\": 1,\n"
+            "  \"count\": 1,\n"
+            "  \"findings\": [\n"
+            "    {\"path\": \"src/base/dead.h\", \"line\": 1, \"col\": 1, "
+            "\"rule\": \"orphan-header\", "
+            "\"message\": \"no file in the tree includes this header; wire "
+            "it in or delete it (dead headers drift out of sync with the "
+            "code)\"}\n"
+            "  ]\n"
+            "}\n");
 }
 
 TEST(BtlintJsonTest, EmptyReportIsStable) {

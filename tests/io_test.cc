@@ -12,9 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault_injector.h"
 #include "io/file.h"
 #include "robustness/checkpoint.h"
-#include "robustness/fault_injector.h"
 #include "robustness/fsck.h"
 #include "robustness/lineage.h"
 #include "robustness/retry.h"
@@ -29,9 +29,9 @@ using io::File;
 using io::FileKind;
 using io::ReadFileBytes;
 using robustness::CheckpointLineage;
-using robustness::FaultInjector;
-using robustness::FaultSite;
-using robustness::FaultSpec;
+using base::FaultInjector;
+using base::FaultSite;
+using base::FaultSpec;
 using robustness::FsckDirectory;
 using robustness::FsckReport;
 using robustness::JobCheckpoint;

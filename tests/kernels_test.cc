@@ -17,11 +17,11 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault_injector.h"
 #include "core/trainer.h"
 #include "datagen/synthetic.h"
 #include "models/factory.h"
 #include "obs/metrics.h"
-#include "robustness/fault_injector.h"
 #include "runtime/thread_pool.h"
 #include "tensor/debug_check.h"
 #include "tensor/kernels/arena.h"
@@ -74,7 +74,7 @@ class KernelsTest : public ::testing::Test {
     obs::MetricRegistry::OverrideEnabledForTest(-1);
     obs::MetricRegistry::Global().Reset();
     runtime::ThreadPool::Global().SetNumThreads(original_threads_);
-    robustness::FaultInjector::Global().DisarmAll();
+    base::FaultInjector::Global().DisarmAll();
   }
   int original_threads_ = 1;
 };
@@ -422,12 +422,12 @@ TEST_F(KernelsTest, CheckpointResumeByteIdenticalWithArenaAndCheck) {
   ASSERT_EQ(reference.status, models::ModelStatus::kOk);
 
   job.train_config.checkpoint_path = path;
-  robustness::FaultSpec spec;
+  base::FaultSpec spec;
   spec.at_step = 4;  // mid-epoch-2 (~3 train batches per epoch)
-  robustness::FaultInjector::Global().Arm(robustness::FaultSite::kThrowForward,
+  base::FaultInjector::Global().Arm(base::FaultSite::kThrowForward,
                                           spec);
   EXPECT_THROW(core::RunLinkPrediction(job), std::runtime_error);
-  robustness::FaultInjector::Global().DisarmAll();
+  base::FaultInjector::Global().DisarmAll();
 
   const core::LinkPredictionResult resumed = core::RunLinkPrediction(job);
   EXPECT_TRUE(resumed.resumed);

@@ -18,11 +18,11 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault_injector.h"
 #include "core/trainer.h"
 #include "datagen/synthetic.h"
 #include "models/factory.h"
 #include "obs/metrics.h"
-#include "robustness/fault_injector.h"
 #include "robustness/watchdog.h"
 #include "runtime/thread_pool.h"
 
@@ -80,10 +80,10 @@ class PipelineTest : public ::testing::Test {
  protected:
   void SetUp() override {
     original_threads_ = runtime::ThreadPool::Global().num_threads();
-    robustness::FaultInjector::Global().DisarmAll();
+    base::FaultInjector::Global().DisarmAll();
   }
   void TearDown() override {
-    robustness::FaultInjector::Global().DisarmAll();
+    base::FaultInjector::Global().DisarmAll();
     obs::MetricRegistry::OverrideEnabledForTest(-1);
     obs::MetricRegistry::Global().Reset();
     runtime::ThreadPool::Global().SetNumThreads(original_threads_);
@@ -307,12 +307,12 @@ TEST_F(PipelineTest, CheckpointResumeByteIdenticalWithPipelineOn) {
   // batches in flight at the crash; none of them may leak into the
   // checkpoint — resume must replay the uninterrupted trajectory exactly.
   job.train_config.checkpoint_path = path;
-  robustness::FaultSpec spec;
+  base::FaultSpec spec;
   spec.at_step = 4;
-  robustness::FaultInjector::Global().Arm(
-      robustness::FaultSite::kThrowForward, spec);
+  base::FaultInjector::Global().Arm(
+      base::FaultSite::kThrowForward, spec);
   EXPECT_THROW(core::RunLinkPrediction(job), std::runtime_error);
-  robustness::FaultInjector::Global().DisarmAll();
+  base::FaultInjector::Global().DisarmAll();
 
   const core::LinkPredictionResult resumed = core::RunLinkPrediction(job);
   EXPECT_TRUE(resumed.resumed);
@@ -333,7 +333,7 @@ TEST_F(PipelineTest, StallInPrefetchStageTripsWatchdog) {
   runtime::ThreadPool::Global().SetNumThreads(4);
   // The CI grammar, on purpose: site@step:count:stall_ms.
   ASSERT_TRUE(
-      robustness::FaultInjector::Global().Configure("stall_batch@0:1:600"));
+      base::FaultInjector::Global().Configure("stall_batch@0:1:600"));
   const graph::TemporalGraph g = MatrixGraph();
   core::LinkPredictionJob job = MatrixJob(&g, models::ModelKind::kTgn);
   job.train_config.pipeline_depth = 2;
@@ -343,15 +343,15 @@ TEST_F(PipelineTest, StallInPrefetchStageTripsWatchdog) {
   const core::LinkPredictionResult result = core::RunLinkPrediction(job);
   EXPECT_EQ(result.annotation, "x");
   EXPECT_TRUE(dog.expired());
-  EXPECT_GE(robustness::FaultInjector::Global().fire_count(
-                robustness::FaultSite::kStallBatch),
+  EXPECT_GE(base::FaultInjector::Global().fire_count(
+                base::FaultSite::kStallBatch),
             1);
   EXPECT_EQ(result.test[0].count, 0);  // wound down before the test pass
 }
 
 TEST_F(PipelineTest, StallParityInSynchronousMode) {
   ASSERT_TRUE(
-      robustness::FaultInjector::Global().Configure("stall_batch@0:1:600"));
+      base::FaultInjector::Global().Configure("stall_batch@0:1:600"));
   const graph::TemporalGraph g = MatrixGraph();
   core::LinkPredictionJob job = MatrixJob(&g, models::ModelKind::kTgn);
   job.train_config.pipeline_depth = 0;

@@ -15,12 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault_injector.h"
 #include "core/data_loader.h"
 #include "core/trainer.h"
 #include "datagen/csv.h"
 #include "datagen/synthetic.h"
 #include "robustness/checkpoint.h"
-#include "robustness/fault_injector.h"
 #include "robustness/lineage.h"
 #include "robustness/sweep.h"
 #include "robustness/watchdog.h"
@@ -32,6 +32,10 @@
 namespace benchtemp::robustness {
 namespace {
 
+using base::FaultInjector;
+using base::FaultSite;
+using base::FaultSiteName;
+using base::FaultSpec;
 using core::LinkPredictionJob;
 using core::LinkPredictionResult;
 using core::RunLinkPrediction;

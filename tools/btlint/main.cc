@@ -5,9 +5,13 @@
 // invariants"). Dependency-free; exits 0 when the tree is clean, 1 when any
 // rule fires, 2 on usage or I/O errors.
 //
-//   btlint [--json] [--list-rules] [--root DIR] [paths...]
+//   btlint [--json] [--list-rules] [--project] [--root DIR] [paths...]
 //
 // Default paths (relative to --root, default "."): src bench tests.
+//
+// --project switches to the cross-TU rules (layering-violation,
+// include-cycle, orphan-header, unused-include) over the whole file set,
+// driven by the btlint.layers DAG at the root; per-file rules do not run.
 
 #include <algorithm>
 #include <cstdio>
@@ -17,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "project.h"
 #include "rules.h"
 
 namespace fs = std::filesystem;
@@ -69,6 +74,7 @@ std::string RepoRelative(const fs::path& file, const fs::path& root) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool project = false;
   fs::path root = ".";
   std::vector<std::string> paths;
 
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--project") {
+      project = true;
     } else if (arg == "--list-rules") {
       for (const btlint::RuleInfo& r : btlint::Rules()) {
         std::printf("%-22s %-16s %s\n", r.id, r.category, r.summary);
@@ -89,7 +97,8 @@ int main(int argc, char** argv) {
       root = argv[i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: btlint [--json] [--list-rules] [--root DIR] [paths...]\n");
+          "usage: btlint [--json] [--list-rules] [--project] [--root DIR] "
+          "[paths...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "btlint: unknown flag %s\n", arg.c_str());
@@ -109,19 +118,45 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
 
   std::vector<btlint::Finding> findings;
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "btlint: cannot read %s\n", file.string().c_str());
-      return 2;
+  if (project) {
+    std::vector<btlint::ProjectFile> project_files;
+    for (const fs::path& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "btlint: cannot read %s\n",
+                     file.string().c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      project_files.push_back({RepoRelative(file, root), buf.str()});
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string rel = RepoRelative(file, root);
-    std::vector<btlint::Finding> file_findings =
-        btlint::LintFile(rel, buf.str());
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+    // A missing btlint.layers is not an error — the layering rule simply
+    // stays off; cycles/orphans/unused-includes still run.
+    std::string layers;
+    std::ifstream spec(root / "btlint.layers", std::ios::binary);
+    if (spec) {
+      std::ostringstream buf;
+      buf << spec.rdbuf();
+      layers = buf.str();
+    }
+    findings = btlint::LintProject(project_files, layers);
+  } else {
+    for (const fs::path& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "btlint: cannot read %s\n",
+                     file.string().c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string rel = RepoRelative(file, root);
+      std::vector<btlint::Finding> file_findings =
+          btlint::LintFile(rel, buf.str());
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
   }
 
   if (json) {

@@ -1,0 +1,466 @@
+#include "project.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lexer.h"
+
+namespace btlint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// "src/tensor/kernels/gemm.cc" -> "tensor" (the layer is the first
+/// directory under src/); "" for anything not of that shape.
+std::string LayerOf(const std::string& path) {
+  if (!StartsWith(path, "src/")) return "";
+  const size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+/// `#  include "x/y.h"` -> "x/y.h"; false for angle or malformed includes.
+bool QuotedInclude(const std::string& directive, std::string* spelled) {
+  const size_t kw = directive.find("include");
+  if (kw == std::string::npos) return false;
+  const size_t q1 = directive.find('"', kw);
+  if (q1 == std::string::npos) return false;
+  const size_t q2 = directive.find('"', q1 + 1);
+  if (q2 == std::string::npos) return false;
+  *spelled = directive.substr(q1 + 1, q2 - q1 - 1);
+  return !spelled->empty();
+}
+
+/// One resolved in-tree include: who includes what, from where.
+struct IncludeEdge {
+  std::string target;   // repo-relative path of the included file
+  std::string spelled;  // as written between the quotes
+  int line = 0;
+  int col = 0;
+};
+
+/// Per-file cross-TU state, keyed by repo-relative path.
+struct FileInfo {
+  const ProjectFile* file = nullptr;
+  LexedFile lexed;
+  std::vector<IncludeEdge> includes;
+  std::set<std::string> used_names;  // identifiers referenced anywhere
+};
+
+/// Collects every identifier a file references: normal tokens plus words
+/// inside preprocessor directives (macro conditions, macro bodies).
+std::set<std::string> CollectUsedNames(const LexedFile& f) {
+  std::set<std::string> names;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::kIdent) {
+      names.insert(t.text);
+    } else if (t.kind == TokKind::kDirective) {
+      std::string word;
+      for (const char c : t.text) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+          word += c;
+        } else {
+          if (!word.empty()) names.insert(word);
+          word.clear();
+        }
+      }
+      if (!word.empty()) names.insert(word);
+    }
+  }
+  return names;
+}
+
+/// Names a header offers its includers. Deliberately generous (macros,
+/// type names, using aliases, plus any declaration-shaped identifier):
+/// over-collection only makes an include look used, so the unused-include
+/// rule errs toward false negatives, never noise.
+std::set<std::string> ExportedNames(const LexedFile& f) {
+  std::set<std::string> names;
+  static const std::set<std::string> kKeywords = {
+      "if",      "else",    "for",      "while",   "do",       "switch",
+      "case",    "return",  "break",    "continue", "sizeof",  "const",
+      "static",  "inline",  "void",     "int",     "bool",     "char",
+      "float",   "double",  "auto",     "true",    "false",    "nullptr",
+      "public",  "private", "protected", "virtual", "override", "final",
+      "explicit", "noexcept", "default", "delete",  "new",      "this",
+      "operator", "template", "typename", "class",  "struct",   "enum",
+      "union",   "namespace", "using",   "typedef", "friend",   "constexpr",
+      "mutable", "unsigned", "signed",   "long",    "short",    "try",
+      "catch",   "throw"};
+  const std::vector<Token>& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kDirective) {
+      // #define NAME ... — the macro name is an export.
+      size_t p = t.text.find("define");
+      if (p != std::string::npos) {
+        p += 6;
+        while (p < t.text.size() &&
+               std::isspace(static_cast<unsigned char>(t.text[p]))) {
+          ++p;
+        }
+        std::string name;
+        while (p < t.text.size() &&
+               (std::isalnum(static_cast<unsigned char>(t.text[p])) ||
+                t.text[p] == '_')) {
+          name += t.text[p++];
+        }
+        if (!name.empty()) names.insert(name);
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    // Type introducers: the name is the last identifier of the head (this
+    // skips attribute macros like `class CAPABILITY("mutex") Mutex`).
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      std::string last;
+      int paren = 0;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        const Token& u = toks[j];
+        if (u.kind == TokKind::kPunct) {
+          if (u.text == "(") ++paren;
+          if (u.text == ")") --paren;
+          if (paren == 0 &&
+              (u.text == "{" || u.text == ";" || u.text == ":")) {
+            break;
+          }
+        } else if (u.kind == TokKind::kIdent && paren == 0 &&
+                   u.text != "final" && u.text != "class" &&
+                   kKeywords.count(u.text) == 0) {
+          last = u.text;
+        }
+      }
+      if (!last.empty()) names.insert(last);
+      continue;
+    }
+    // `using X = ...`, `using ns::X;`, `typedef ... X;`.
+    if (t.text == "using" || t.text == "typedef") {
+      std::string last;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        const Token& u = toks[j];
+        if (u.kind == TokKind::kPunct && (u.text == "=" || u.text == ";")) {
+          break;
+        }
+        if (u.kind == TokKind::kIdent && kKeywords.count(u.text) == 0) {
+          last = u.text;
+        }
+      }
+      if (!last.empty()) names.insert(last);
+      continue;
+    }
+    // Declaration-shaped identifiers: `Type name(`, `Type name =`,
+    // `Type name;`, `Type name{`. Calls inside inline bodies over-match,
+    // which is the conservative direction.
+    if (kKeywords.count(t.text) != 0 || i == 0 || i + 1 >= toks.size()) {
+      continue;
+    }
+    const Token& prev = toks[i - 1];
+    const Token& next = toks[i + 1];
+    const bool prev_typeish =
+        prev.kind == TokKind::kIdent ||
+        (prev.kind == TokKind::kPunct &&
+         (prev.text == ">" || prev.text == "*" || prev.text == "&"));
+    const bool next_declish =
+        next.kind == TokKind::kPunct &&
+        (next.text == "(" || next.text == "=" || next.text == ";" ||
+         next.text == "{");
+    if (prev_typeish && next_declish) names.insert(t.text);
+  }
+  return names;
+}
+
+void Report(std::vector<Finding>* out, const std::string& path, int line,
+            int col, const char* rule, std::string message) {
+  out->push_back({path, line, col, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layering-violation.
+// ---------------------------------------------------------------------------
+
+void CheckLayering(const std::map<std::string, FileInfo>& infos,
+                   const LayerSpec& spec, std::vector<Finding>* out) {
+  if (spec.order.empty() && spec.errors.empty()) return;
+  for (const auto& [line, text] : spec.errors) {
+    Report(out, "btlint.layers", line, 1, "layering-violation",
+           "unparsable statement '" + text +
+               "' (expected 'layer NAME' or 'allow FROM TO')");
+  }
+  std::map<std::string, int> index;
+  for (size_t i = 0; i < spec.order.size(); ++i) {
+    index[spec.order[i]] = static_cast<int>(i);
+  }
+  const std::set<std::pair<std::string, std::string>> allowed(
+      spec.allowed.begin(), spec.allowed.end());
+
+  // Every src/ directory must be a declared layer — an undeclared directory
+  // would silently escape the DAG. Reported once per directory against the
+  // spec itself (the fix belongs there, not in the sources).
+  std::set<std::string> undeclared;
+  for (const auto& [path, info] : infos) {
+    const std::string layer = LayerOf(path);
+    if (!layer.empty() && index.count(layer) == 0 &&
+        undeclared.insert(layer).second) {
+      Report(out, "btlint.layers", 1, 1, "layering-violation",
+             "src/" + layer +
+                 "/ exists but is not declared as a layer; add 'layer " +
+                 layer + "' at its height in the DAG");
+    }
+  }
+
+  for (const auto& [path, info] : infos) {
+    const std::string from = LayerOf(path);
+    if (from.empty() || index.count(from) == 0) continue;
+    for (const IncludeEdge& inc : info.includes) {
+      const std::string to = LayerOf(inc.target);
+      if (to.empty() || to == from || index.count(to) == 0) continue;
+      if (index[to] < index[from]) continue;  // downward: always legal
+      if (allowed.count({from, to}) != 0) continue;
+      Report(out, path, inc.line, inc.col, "layering-violation",
+             "'" + inc.spelled + "' is layer '" + to +
+                 "', declared above layer '" + from +
+                 "' in btlint.layers; a layer may only include layers "
+                 "below it (or add a rationale-bearing 'allow " +
+                 from + " " + to + "' edge)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-cycle.
+// ---------------------------------------------------------------------------
+
+/// DFS over the src/ include graph. Each distinct cycle is reported once
+/// (canonicalized by rotating its smallest path first), located at the
+/// include that closes it.
+class CycleFinder {
+ public:
+  CycleFinder(const std::map<std::string, FileInfo>& infos,
+              std::vector<Finding>* out)
+      : infos_(infos), out_(out) {}
+
+  void Run() {
+    for (const auto& [path, info] : infos_) {
+      if (StartsWith(path, "src/")) Visit(path);
+    }
+  }
+
+ private:
+  void Visit(const std::string& path) {
+    if (done_.count(path) != 0 || on_stack_.count(path) != 0) return;
+    on_stack_.insert(path);
+    stack_.push_back(path);
+    const auto it = infos_.find(path);
+    if (it != infos_.end()) {
+      for (const IncludeEdge& inc : it->second.includes) {
+        if (!StartsWith(inc.target, "src/")) continue;
+        if (on_stack_.count(inc.target) != 0) {
+          ReportCycle(inc);
+          continue;
+        }
+        Visit(inc.target);
+      }
+    }
+    stack_.pop_back();
+    on_stack_.erase(path);
+    done_.insert(path);
+  }
+
+  void ReportCycle(const IncludeEdge& closing) {
+    // The cycle is the stack suffix starting at the closing edge's target.
+    const auto start =
+        std::find(stack_.begin(), stack_.end(), closing.target);
+    if (start == stack_.end()) return;
+    std::vector<std::string> cycle(start, stack_.end());
+    // Canonical key: rotate the smallest member first so the same cycle
+    // found from different entry points dedupes.
+    const auto min_it = std::min_element(cycle.begin(), cycle.end());
+    std::vector<std::string> canon(min_it, cycle.end());
+    canon.insert(canon.end(), cycle.begin(), min_it);
+    std::string key;
+    for (const std::string& p : canon) key += p + "|";
+    if (!seen_.insert(key).second) return;
+    std::string diagram;
+    for (const std::string& p : cycle) diagram += p + " -> ";
+    diagram += closing.target;
+    Report(out_, stack_.back(), closing.line, closing.col, "include-cycle",
+           "include cycle: " + diagram +
+               "; break it by moving the shared declarations down a layer");
+  }
+
+  const std::map<std::string, FileInfo>& infos_;
+  std::vector<Finding>* out_;
+  std::set<std::string> on_stack_, done_, seen_;
+  std::vector<std::string> stack_;
+};
+
+// ---------------------------------------------------------------------------
+// Rules: orphan-header, unused-include.
+// ---------------------------------------------------------------------------
+
+void CheckOrphans(const std::map<std::string, FileInfo>& infos,
+                  const std::set<std::string>& included_somewhere,
+                  std::vector<Finding>* out) {
+  for (const auto& [path, info] : infos) {
+    if (!StartsWith(path, "src/") || !EndsWith(path, ".h")) continue;
+    if (included_somewhere.count(path) != 0) continue;
+    Report(out, path, 1, 1, "orphan-header",
+           "no file in the tree includes this header; wire it in or "
+           "delete it (dead headers drift out of sync with the code)");
+  }
+}
+
+/// "src/io/file.cc" and "src/io/file.h" are a pair: the .cc implements the
+/// .h, so that include is definitionally required.
+bool IsPairedHeader(const std::string& includer, const std::string& target) {
+  auto stem = [](const std::string& p) {
+    const size_t dot = p.rfind('.');
+    return dot == std::string::npos ? p : p.substr(0, dot);
+  };
+  return stem(includer) == stem(target);
+}
+
+void CheckUnusedIncludes(const std::map<std::string, FileInfo>& infos,
+                         std::vector<Finding>* out) {
+  // Exported names are computed lazily per header — most headers are
+  // resolved once and cached.
+  std::map<std::string, std::set<std::string>> exports;
+  for (const auto& [path, info] : infos) {
+    for (const IncludeEdge& inc : info.includes) {
+      if (IsPairedHeader(path, inc.target)) continue;
+      const auto target_it = infos.find(inc.target);
+      if (target_it == infos.end()) continue;
+      auto cached = exports.find(inc.target);
+      if (cached == exports.end()) {
+        cached = exports
+                     .emplace(inc.target,
+                              ExportedNames(target_it->second.lexed))
+                     .first;
+      }
+      const std::set<std::string>& offered = cached->second;
+      if (offered.empty()) continue;  // nothing recognizable: stay silent
+      bool used = false;
+      for (const std::string& name : offered) {
+        if (info.used_names.count(name) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (used) continue;
+      Report(out, path, inc.line, inc.col, "unused-include",
+             "nothing this file references comes from '" + inc.spelled +
+                 "'; drop the include (or keep it with a rationale if it "
+                 "is a deliberate umbrella)");
+    }
+  }
+}
+
+}  // namespace
+
+LayerSpec ParseLayerSpec(const std::string& text) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string kw;
+    if (!(fields >> kw)) continue;  // blank / comment-only
+    if (kw == "layer") {
+      std::string name, extra;
+      if ((fields >> name) && !(fields >> extra)) {
+        spec.order.push_back(name);
+        continue;
+      }
+    } else if (kw == "allow") {
+      std::string from, to, extra;
+      if ((fields >> from >> to) && !(fields >> extra)) {
+        spec.allowed.emplace_back(from, to);
+        continue;
+      }
+    }
+    spec.errors.emplace_back(lineno, line);
+  }
+  return spec;
+}
+
+std::vector<Finding> LintProject(const std::vector<ProjectFile>& files,
+                                 const std::string& layers_spec) {
+  // Pass 1: lex everything, resolve quoted includes to in-tree files.
+  std::map<std::string, FileInfo> infos;
+  for (const ProjectFile& file : files) {
+    FileInfo& info = infos[file.path];
+    info.file = &file;
+    info.lexed = Lex(file.source);
+    info.used_names = CollectUsedNames(info.lexed);
+  }
+  std::set<std::string> included_somewhere;
+  for (auto& [path, info] : infos) {
+    for (const Token& t : info.lexed.tokens) {
+      if (t.kind != TokKind::kDirective) continue;
+      std::string spelled;
+      if (!QuotedInclude(t.text, &spelled)) continue;
+      // Resolution order mirrors the build: -Isrc first, then the
+      // includer's own directory, then repo-relative verbatim.
+      std::string target;
+      for (const std::string& candidate :
+           {"src/" + spelled, DirName(path) + "/" + spelled, spelled}) {
+        if (infos.count(candidate) != 0) {
+          target = candidate;
+          break;
+        }
+      }
+      if (target.empty() || target == path) continue;
+      info.includes.push_back({target, spelled, t.line, t.col});
+      included_somewhere.insert(target);
+    }
+  }
+
+  // Pass 2: the four cross-TU rules.
+  std::vector<Finding> findings;
+  CheckLayering(infos, ParseLayerSpec(layers_spec), &findings);
+  CycleFinder(infos, &findings).Run();
+  CheckOrphans(infos, included_somewhere, &findings);
+  CheckUnusedIncludes(infos, &findings);
+
+  // Pass 3: suppressions from the file each finding lands in, then the
+  // stable sort. Findings against btlint.layers itself (spec errors) have
+  // no source to carry suppressions and always survive.
+  std::map<std::string, std::vector<Finding>> by_path;
+  for (Finding& f : findings) by_path[f.path].push_back(std::move(f));
+  std::vector<Finding> kept;
+  for (auto& [path, group] : by_path) {
+    const auto it = infos.find(path);
+    if (it == infos.end()) {
+      kept.insert(kept.end(), group.begin(), group.end());
+      continue;
+    }
+    std::vector<Finding> survived =
+        FilterSuppressed(it->second.file->source, std::move(group));
+    kept.insert(kept.end(), survived.begin(), survived.end());
+  }
+  SortFindings(&kept);
+  return kept;
+}
+
+}  // namespace btlint

@@ -1,0 +1,59 @@
+#ifndef BENCHTEMP_TOOLS_BTLINT_PROJECT_H_
+#define BENCHTEMP_TOOLS_BTLINT_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace btlint {
+
+/// One file of the project tree handed to the cross-TU analysis.
+struct ProjectFile {
+  std::string path;    // repo-relative, '/'-separated
+  std::string source;  // full contents
+};
+
+/// Parsed btlint.layers spec: the declared layering DAG of src/.
+///
+/// Grammar (one statement per line, '#' starts a comment):
+///
+///   layer NAME            — declares src/NAME/ as the next layer, bottom
+///                           (most fundamental) to top; a layer may only
+///                           include layers declared before it
+///   allow FROM TO         — exception edge: FROM may include TO even
+///                           though TO is declared above FROM; every allow
+///                           line should carry a '#' rationale
+struct LayerSpec {
+  /// Declared layer names, bottom to top.
+  std::vector<std::string> order;
+  /// Exception edges as "FROM TO" pairs.
+  std::vector<std::pair<std::string, std::string>> allowed;
+  /// Lines that failed to parse (1-based line + text), surfaced as findings.
+  std::vector<std::pair<int, std::string>> errors;
+};
+
+/// Parses a btlint.layers file. Never fails hard: malformed lines land in
+/// `errors` so the caller can report them as findings.
+LayerSpec ParseLayerSpec(const std::string& text);
+
+/// Cross-TU analysis over the whole file set (the --project mode):
+///
+///   layering-violation — a quoted #include that points upward or across
+///                        the declared DAG without an allow edge, or a
+///                        src/ directory missing from the spec
+///   include-cycle      — a cyclic quoted-#include chain among src/ files,
+///                        reported with the offending path
+///   orphan-header      — a src/ header no file in the tree includes
+///   unused-include     — a quoted include of a project header none of
+///                        whose exported names the includer references
+///
+/// `layers_spec` is the btlint.layers text ("" disables layering checks;
+/// the other three rules always run). Suppression comments in the file a
+/// finding lands in apply as usual. Findings come back sorted.
+std::vector<Finding> LintProject(const std::vector<ProjectFile>& files,
+                                 const std::string& layers_spec);
+
+}  // namespace btlint
+
+#endif  // BENCHTEMP_TOOLS_BTLINT_PROJECT_H_

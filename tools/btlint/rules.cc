@@ -49,6 +49,19 @@ const std::vector<RuleInfo> kRules = {
     {"unchecked-io", "api",
      "ignored fwrite/fclose/rename/fsync return value outside src/io "
      "(route durable writes through io::File)"},
+    {"unannotated-mutex", "parallel-safety",
+     "class declares a mutex/condvar member but no data member carries "
+     "GUARDED_BY (base/thread_annotations.h)"},
+    {"layering-violation", "layering",
+     "[--project] #include pointing upward/across the btlint.layers DAG "
+     "without an allow edge"},
+    {"include-cycle", "layering",
+     "[--project] cyclic #include chain among src/ files"},
+    {"orphan-header", "layering",
+     "[--project] src/ header that no file in the tree includes"},
+    {"unused-include", "layering",
+     "[--project] included project header none of whose exported names "
+     "the includer references"},
 };
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
@@ -703,6 +716,146 @@ void RuleUncheckedIo(const std::string& path, const LexedFile& f,
   }
 }
 
+/// One top-level member declaration of a class body, classified for the
+/// unannotated-mutex rule.
+enum class MemberKind {
+  kSkip,      // function, nested type, using/friend/static, access label...
+  kGuarded,   // carries GUARDED_BY / PT_GUARDED_BY
+  kMutex,     // a mutex / condition-variable member (the capability itself)
+  kPlain,     // mutable instance data with no annotation
+};
+
+MemberKind ClassifyMember(const Tokens& toks,
+                          const std::vector<size_t>& decl) {
+  if (decl.empty()) return MemberKind::kSkip;
+  static const std::set<std::string> kNotData = {
+      "struct", "class", "enum",     "union",         "using",
+      "friend", "typedef", "template", "static_assert", "operator",
+      "public", "private", "protected"};
+  if (kNotData.count(toks[decl[0]].text) != 0) return MemberKind::kSkip;
+  static const std::set<std::string> kMutexTypes = {
+      "Mutex", "mutex", "recursive_mutex", "shared_mutex", "CondVar",
+      "condition_variable", "condition_variable_any"};
+  bool is_mutex = false, is_function = false;
+  int angle = 0;
+  for (size_t n = 0; n < decl.size(); ++n) {
+    const Token& t = toks[decl[n]];
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "GUARDED_BY" || t.text == "PT_GUARDED_BY") {
+        return MemberKind::kGuarded;
+      }
+      // Immutable / thread-confined / lock-free members need no guard;
+      // class statics are the mutable-static rule's domain.
+      if (t.text == "atomic" || t.text == "const" || t.text == "constexpr" ||
+          t.text == "thread_local" || t.text == "static") {
+        return MemberKind::kSkip;
+      }
+      if (kMutexTypes.count(t.text) != 0) is_mutex = true;
+      continue;
+    }
+    if (t.kind != TokKind::kPunct) continue;
+    // Angle tracking so the '(' of std::function<void()> does not read as
+    // a method declaration.
+    if (t.text == "<" && n > 0 && toks[decl[n - 1]].kind == TokKind::kIdent) {
+      ++angle;
+    } else if (t.text == ">" && angle > 0) {
+      --angle;
+    } else if (t.text == "(" && angle == 0) {
+      is_function = true;
+    }
+  }
+  if (is_mutex) return MemberKind::kMutex;
+  if (is_function) return MemberKind::kSkip;
+  // A data member's name is the last identifier of the declarator.
+  for (size_t n = decl.size(); n > 0; --n) {
+    if (toks[decl[n - 1]].kind == TokKind::kIdent) return MemberKind::kPlain;
+  }
+  return MemberKind::kSkip;
+}
+
+void RuleUnannotatedMutex(const std::string& path, const LexedFile& f,
+                          std::vector<Finding>* out) {
+  // src/ only: tests and bench drivers synchronize scratch state ad hoc and
+  // are not part of the annotated-capability surface.
+  if (!StartsWith(path, "src/")) return;
+  const Tokens& toks = f.tokens;
+  std::set<size_t> seen_bodies;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "class" && toks[i].text != "struct")) {
+      continue;
+    }
+    if (i > 0 && IsIdent(toks[i - 1], "enum")) continue;  // enum class
+    // Walk the class head to its body '{' (skipping attribute-macro
+    // argument lists and the base-clause) or bail on a forward declaration.
+    size_t open = 0;
+    int paren = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const Token& u = toks[j];
+      if (u.kind != TokKind::kPunct) continue;
+      if (u.text == "(") ++paren;
+      if (u.text == ")") --paren;
+      if (paren > 0) continue;
+      if (u.text == ";" || u.text == "=" || u.text == ">") break;
+      if (u.text == "{") {
+        open = j;
+        break;
+      }
+    }
+    if (open == 0 || !seen_bodies.insert(open).second) continue;
+    const size_t close = MatchingClose(toks, open);
+    if (close >= toks.size()) continue;
+
+    bool has_guarded = false;
+    int mutex_members = 0, plain_members = 0;
+    size_t first_mutex = 0;
+    std::vector<size_t> decl;
+    for (size_t k = open + 1; k < close; ++k) {
+      const Token& u = toks[k];
+      if (u.kind == TokKind::kPunct && u.text == "{") {
+        // Method body, nested type body, or member initializer: skip it
+        // whole. Nested types are revisited as their own regions.
+        const size_t m = MatchingClose(toks, k);
+        if (m >= close) break;
+        k = m;
+        continue;
+      }
+      if (u.kind == TokKind::kPunct && u.text == ";") {
+        const MemberKind kind = ClassifyMember(toks, decl);
+        if (kind == MemberKind::kGuarded) has_guarded = true;
+        if (kind == MemberKind::kMutex && mutex_members++ == 0) {
+          for (size_t idx : decl) {
+            if (toks[idx].kind == TokKind::kIdent) {
+              first_mutex = idx;
+              break;
+            }
+          }
+        }
+        if (kind == MemberKind::kPlain) ++plain_members;
+        decl.clear();
+        continue;
+      }
+      // `public:` labels separate declarations without a ';'.
+      if (u.kind == TokKind::kIdent &&
+          (u.text == "public" || u.text == "private" ||
+           u.text == "protected") &&
+          k + 1 < close && IsPunct(toks[k + 1], ":")) {
+        ++k;
+        decl.clear();
+        continue;
+      }
+      decl.push_back(k);
+    }
+    if (mutex_members > 0 && plain_members > 0 && !has_guarded) {
+      Report(out, path, toks[first_mutex], "unannotated-mutex",
+             "class declares a mutex/condvar member but none of its data "
+             "members carries GUARDED_BY; annotate which members the lock "
+             "protects (base/thread_annotations.h) so clang "
+             "-Wthread-safety can check every access");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions.
 // ---------------------------------------------------------------------------
@@ -808,19 +961,35 @@ std::vector<Finding> LintFile(const std::string& path,
   RuleAdhocTiming(path, f, &findings);
   RuleHotLoopAt(path, f, &findings);
   RuleUncheckedIo(path, f, &findings);
+  RuleUnannotatedMutex(path, f, &findings);
 
   const Suppressions s = CollectSuppressions(f);
   std::vector<Finding> kept;
   for (Finding& finding : findings) {
     if (!IsSuppressed(s, finding)) kept.push_back(std::move(finding));
   }
-  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
-    if (a.path != b.path) return a.path < b.path;
-    if (a.line != b.line) return a.line < b.line;
-    if (a.col != b.col) return a.col < b.col;
-    return a.rule < b.rule;
-  });
+  SortFindings(&kept);
   return kept;
+}
+
+std::vector<Finding> FilterSuppressed(const std::string& source,
+                                      std::vector<Finding> findings) {
+  const Suppressions s = CollectSuppressions(Lex(source));
+  std::vector<Finding> kept;
+  for (Finding& finding : findings) {
+    if (!IsSuppressed(s, finding)) kept.push_back(std::move(finding));
+  }
+  return kept;
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
 }
 
 std::string ToJson(const std::vector<Finding>& findings) {

@@ -32,6 +32,17 @@ const std::vector<RuleInfo>& Rules();
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& source);
 
+/// Removes findings suppressed by `// btlint: allow(rule)` (same/previous
+/// line) or `// btlint: allow-file(rule)` (anywhere) comments in `source`.
+/// Every finding passed must belong to the file `source` was read from.
+/// Used by the cross-TU driver, which locates findings in one file but
+/// derives them from project-wide analysis.
+std::vector<Finding> FilterSuppressed(const std::string& source,
+                                      std::vector<Finding> findings);
+
+/// Sorts findings by (path, line, col, rule) — the stable output order.
+void SortFindings(std::vector<Finding>* findings);
+
 /// Stable JSON rendering: findings sorted by (path, line, col, rule), one
 /// finding per line, LF line endings, no locale dependence.
 std::string ToJson(const std::vector<Finding>& findings);
