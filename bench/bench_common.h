@@ -17,6 +17,9 @@
 //                         (default: all)
 //   BENCHTEMP_PIPELINE    training-pipeline prefetch depth (default 2;
 //                         0 = synchronous — bit-identical either way)
+//   BENCHTEMP_MRR_K       ranking candidates per positive of the TGB-style
+//                         MRR/Hits@k evaluation pass (unset/0 = ranking
+//                         off; clamped to the destination range)
 //
 // Robustness knobs (see DESIGN.md "Failure model"):
 //   BENCHTEMP_MANIFEST     sweep journal path; an interrupted run restarts
@@ -201,6 +204,8 @@ inline AggregatedLp RunAggregatedLp(
           result.efficiency.retried_epoch_seconds;
       record.train_events_per_second =
           result.efficiency.train_events_per_second;
+      record.eval_events_per_second =
+          result.efficiency.eval_events_per_second;
       record.state_bytes = result.efficiency.state_bytes;
       record.parameter_bytes = result.efficiency.parameter_bytes;
       record.checkpoint_bytes = result.efficiency.checkpoint_bytes;

@@ -100,8 +100,9 @@ BENCHMARK(BM_TemporalWalk)->Arg(0)->Arg(1)->Arg(2);
 void BM_RandomNegativeSampling(benchmark::State& state) {
   core::RandomEdgeSampler sampler(0, 700, 1);
   std::vector<int32_t> srcs(200, 0);
+  std::vector<int32_t> dsts(200, 350);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.SampleNegatives(srcs));
+    benchmark::DoNotOptimize(sampler.SampleNegatives(srcs, dsts));
   }
   state.SetItemsProcessed(state.iterations() * 200);
 }

@@ -18,13 +18,32 @@ namespace benchtemp::core {
 /// Samplers are seeded; `Reset()` rewinds the stream so validation/test
 /// negatives are identical across epochs, models and runs — one of the
 /// paper's standardization points.
+///
+/// Collision contract: a drawn negative never equals the batch's true
+/// destination for the same source (bounded deterministic rejection,
+/// counted in `sampler.collisions_rejected`), except in the degenerate
+/// single-destination range where no distinct negative exists. Pool-based
+/// samplers that cannot honor their pool (empty history / fully-covered
+/// train split) fall back to uniform draws, counted in
+/// `sampler.pool_fallbacks` — never a silent `UniformInt(0)`.
 class EdgeSampler {
  public:
   virtual ~EdgeSampler() = default;
 
-  /// One negative destination per source in `srcs`.
+  /// One negative destination per source in `srcs`; `positive_dsts` are the
+  /// batch's true destinations the draws must avoid (same length as
+  /// `srcs`).
   virtual std::vector<int32_t> SampleNegatives(
-      const std::vector<int32_t>& srcs) = 0;
+      const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) = 0;
+
+  /// Pure keyed variant: negatives are a function of (stream_seed, srcs,
+  /// positive_dsts) only — no sampler state is read or advanced — so a
+  /// batch prepared ahead of time on a prefetch thread is bit-identical to
+  /// the same batch prepared synchronously. Thread-safe.
+  virtual std::vector<int32_t> SampleNegativesKeyed(
+      uint64_t stream_seed, const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) const = 0;
 
   /// Rewinds the deterministic stream to its initial seed.
   virtual void Reset() = 0;
@@ -38,15 +57,12 @@ class RandomEdgeSampler : public EdgeSampler {
   RandomEdgeSampler(int32_t dst_lo, int32_t dst_hi, uint64_t seed);
 
   std::vector<int32_t> SampleNegatives(
-      const std::vector<int32_t>& srcs) override;
-  void Reset() override;
-
-  /// Pure keyed variant for the pipelined trainer: negatives are a function
-  /// of (stream_seed, srcs) only — no sampler state is read or advanced —
-  /// so a batch prepared ahead of time on a prefetch thread is bit-identical
-  /// to the same batch prepared synchronously. Thread-safe.
+      const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) override;
   std::vector<int32_t> SampleNegativesKeyed(
-      uint64_t stream_seed, const std::vector<int32_t>& srcs) const;
+      uint64_t stream_seed, const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) const override;
+  void Reset() override;
 
   /// Serialized RNG state for job checkpointing: the training sampler's
   /// stream advances across epochs, so resume must restore its position.
@@ -64,8 +80,8 @@ class RandomEdgeSampler : public EdgeSampler {
 
 /// Historical negative sampling (Appendix J, Fig. 10a): negatives are edges
 /// observed during *previous* timestamps — here, destinations the source
-/// interacted with in the training stream. Falls back to uniform when the
-/// source has no history.
+/// interacted with in the training stream. Falls back to uniform (counted)
+/// when the source has no usable history.
 class HistoricalEdgeSampler : public EdgeSampler {
  public:
   /// `graph` + `train_events` define E_train.
@@ -74,10 +90,16 @@ class HistoricalEdgeSampler : public EdgeSampler {
                         int32_t dst_lo, int32_t dst_hi, uint64_t seed);
 
   std::vector<int32_t> SampleNegatives(
-      const std::vector<int32_t>& srcs) override;
+      const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) override;
+  std::vector<int32_t> SampleNegativesKeyed(
+      uint64_t stream_seed, const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) const override;
   void Reset() override;
 
  private:
+  int32_t DrawOne(tensor::Rng& rng, int32_t src, int32_t positive_dst) const;
+
   std::vector<std::vector<int32_t>> history_;  // per-source train dsts
   int32_t dst_lo_;
   int32_t dst_hi_;
@@ -86,7 +108,9 @@ class HistoricalEdgeSampler : public EdgeSampler {
 };
 
 /// Inductive negative sampling (Appendix J, Fig. 10b): negatives drawn from
-/// edges in E_all that were *not* observed during training.
+/// edges in E_all that were *not* observed during training. A fully-covered
+/// train split leaves the pool empty; the draw then falls back to uniform
+/// over the range (counted), never `UniformInt(0)`.
 class InductiveEdgeSampler : public EdgeSampler {
  public:
   InductiveEdgeSampler(const graph::TemporalGraph& graph,
@@ -94,10 +118,16 @@ class InductiveEdgeSampler : public EdgeSampler {
                        int32_t dst_lo, int32_t dst_hi, uint64_t seed);
 
   std::vector<int32_t> SampleNegatives(
-      const std::vector<int32_t>& srcs) override;
+      const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) override;
+  std::vector<int32_t> SampleNegativesKeyed(
+      uint64_t stream_seed, const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) const override;
   void Reset() override;
 
  private:
+  int32_t DrawOne(tensor::Rng& rng, int32_t positive_dst) const;
+
   /// Destinations of edges present in val/test but absent from E_train.
   std::vector<int32_t> unseen_dsts_;
   int32_t dst_lo_;
@@ -116,6 +146,54 @@ std::unique_ptr<EdgeSampler> MakeEdgeSampler(
     NegativeSampling mode, const graph::TemporalGraph& graph,
     const std::vector<int64_t>& train_events, int32_t dst_lo, int32_t dst_hi,
     uint64_t seed);
+
+/// Candidate-set protocol of the TGB-style ranking evaluator (see DESIGN.md
+/// "Ranking evaluation").
+struct CandidateConfig {
+  /// Candidate negatives per positive. Clamped to the number of distinct
+  /// non-positive destinations in the range, so a candidate set can always
+  /// be collision-free and deduplicated.
+  int k = 20;
+  /// Target share of candidates drawn (without replacement) from the
+  /// source's training history; the remainder is uniform over the range.
+  /// Sources with thin history fall back to uniform for the shortfall,
+  /// counted in `sampler.pool_fallbacks`.
+  double historical_fraction = 0.5;
+};
+
+/// Draws k-candidate negative sets for MRR/Hits@k ranking. Every draw is a
+/// pure function of (row seed, src, positive_dst): the sampler holds no
+/// mutable state, so candidate sets are bit-identical at any pipeline
+/// prefetch depth and thread count. Each returned set is deduplicated and
+/// excludes the positive destination.
+class CandidateSampler {
+ public:
+  CandidateSampler(const graph::TemporalGraph& graph,
+                   const std::vector<int64_t>& train_events, int32_t dst_lo,
+                   int32_t dst_hi, CandidateConfig config);
+
+  /// Candidate set of one positive edge: exactly `k()` distinct
+  /// destinations in [dst_lo, dst_hi), none equal to `positive_dst`.
+  std::vector<int32_t> SampleCandidates(uint64_t row_seed, int32_t src,
+                                        int32_t positive_dst) const;
+
+  /// One batch of candidate sets, row-major [srcs.size() * k()]. Row i is
+  /// keyed by SplitMix64(stream_seed, i), so any batch partitioning or
+  /// preparation order yields the same bytes.
+  std::vector<int32_t> SampleCandidateBatch(
+      uint64_t stream_seed, const std::vector<int32_t>& srcs,
+      const std::vector<int32_t>& positive_dsts) const;
+
+  /// Effective candidates per positive (config.k clamped to range - 1).
+  int k() const { return k_; }
+
+ private:
+  std::vector<std::vector<int32_t>> history_;  // per-source sorted unique
+  int32_t dst_lo_;
+  int32_t dst_hi_;
+  int k_;
+  double historical_fraction_;
+};
 
 }  // namespace benchtemp::core
 

@@ -48,7 +48,11 @@ double AveragePrecision(const std::vector<double>& scores,
   const size_t n = scores.size();
   int64_t num_pos = 0;
   for (int y : labels) num_pos += (y != 0);
+  // Degenerate single-class inputs return the prevalence (see header): an
+  // all-negative set has AP 0, an all-positive one has precision 1 at
+  // every recall level.
   if (num_pos == 0) return 0.0;
+  if (num_pos == static_cast<int64_t>(n)) return 1.0;
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {

@@ -11,14 +11,24 @@ namespace benchtemp::core {
 /// multi-class metrics used for DGraphFin (Appendix G).
 
 /// Area under the ROC curve of `scores` against binary `labels` (0/1).
-/// Ties receive the standard half-credit. Returns 0.5 when one class is
-/// absent (degenerate input).
+/// Ties receive the standard half-credit (midranks).
+///
+/// Degenerate-input contract (pinned by evaluator_golden_test):
+///   - empty input or a single-class label vector -> 0.5 (chance level;
+///     no ranking is expressible), and
+///   - all-tied scores -> 0.5 (every ordering is equally consistent).
 double RocAuc(const std::vector<double>& scores,
               const std::vector<int>& labels);
 
 /// Average precision (area under the precision-recall curve, step-wise, as
-/// computed by scikit-learn's average_precision_score). Returns the positive
-/// rate when no positive exists.
+/// computed by scikit-learn's average_precision_score).
+///
+/// Degenerate-input contract (pinned by evaluator_golden_test): the
+/// prevalence num_pos / n —
+///   - no positives (or empty input) -> 0.0,
+///   - all positives -> 1.0, and
+///   - all-tied scores -> num_pos / n (one threshold: precision is the
+///     prevalence at full recall).
 double AveragePrecision(const std::vector<double>& scores,
                         const std::vector<int>& labels);
 

@@ -9,6 +9,7 @@
 
 #include "core/data_loader.h"
 #include "core/edge_sampler.h"
+#include "core/mrr_evaluator.h"
 #include "graph/temporal_graph.h"
 #include "models/factory.h"
 #include "models/model.h"
@@ -65,6 +66,21 @@ struct TrainConfig {
   /// BENCHTEMP_PIPELINE. Any depth produces bit-identical results — batch
   /// preparation is a pure function of (batch index, seed).
   int pipeline_depth = -1;
+
+  // --- Ranking evaluation (see DESIGN.md "Ranking evaluation") ---
+
+  /// Candidate negatives per positive for the TGB-style MRR/Hits@k ranking
+  /// pass. 0 disables ranking (AUC/AP only); -1 (the default) resolves
+  /// from BENCHTEMP_MRR_K (unset -> 0). Values above the destination-range
+  /// size are clamped so candidate sets stay collision-free.
+  int mrr_k = -1;
+  /// Target share of ranking candidates drawn from the source's training
+  /// history (TGB's "historical negatives"); the remainder — and any
+  /// thin-history shortfall, counted in sampler.pool_fallbacks — is
+  /// uniform over the destination range.
+  double mrr_historical_fraction = 0.5;
+  /// Tie handling of the ranking metrics (see core::TiePolicy).
+  TiePolicy mrr_tie_policy = TiePolicy::kMeanRank;
 };
 
 /// Efficiency measurements — the CPU stand-ins for the paper's Table 4/12
@@ -86,6 +102,12 @@ struct EfficiencyStats {
   int64_t parameter_bytes = 0;
   double train_events_per_second = 0.0;
   double inference_seconds_per_100k = 0.0;
+  /// Edge scores produced per second by the final test pass — 2 pairs per
+  /// positive, plus the k ranking candidates per positive when the MRR
+  /// evaluator is on. The number the k-way fused-scoring perf gate
+  /// watches: one ScoreCandidates forward per batch keeps it in the same
+  /// band as the one-negative pass.
+  double eval_events_per_second = 0.0;
   /// Total wall-time spent in epochs that were rolled back and retried.
   double retried_epoch_seconds = 0.0;
   /// Bytes of the last committed on-disk job checkpoint (0 when disabled).
@@ -127,6 +149,15 @@ struct LinkPredictionResult {
   /// Indexed by static_cast<int>(Setting).
   std::array<SettingMetrics, 4> test;
   SettingMetrics val_transductive;
+  /// TGB-style ranking metrics (MRR / Hits@{1,10}); count == 0 when the
+  /// ranking evaluator is off (TrainConfig::mrr_k resolves to 0). Indexed
+  /// by static_cast<int>(Setting) like `test`.
+  std::array<RankingMetrics, 4> test_ranking;
+  /// Ranking metrics of the last validation pass (refreshed every epoch).
+  RankingMetrics val_ranking;
+  /// Effective candidates per positive the job ranked against (after the
+  /// destination-range clamp); 0 when ranking was off.
+  int mrr_k = 0;
   EfficiencyStats efficiency;
   /// NaN/Inf recovery events consumed during training (rollback + LR
   /// backoff); > 0 means the job diverged at least once and recovered.

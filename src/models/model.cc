@@ -41,6 +41,45 @@ Var TgnnModel::ScoreEdges(const std::vector<int32_t>& srcs,
   return predictor_->Forward(src_emb, dst_emb);
 }
 
+Var TgnnModel::ScoreCandidates(const std::vector<int32_t>& srcs,
+                               const std::vector<int32_t>& candidates,
+                               const std::vector<double>& ts, int k) {
+  tensor::CheckOrDie(k >= 1, "ScoreCandidates: k must be >= 1");
+  tensor::CheckOrDie(
+      candidates.size() == srcs.size() * static_cast<size_t>(k),
+      "ScoreCandidates: candidate row shape mismatch");
+  // Every candidate of row i is scored at the positive's timestamp ts[i].
+  std::vector<double> cand_ts(candidates.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    for (int j = 0; j < k; ++j) {
+      cand_ts[i * static_cast<size_t>(k) + static_cast<size_t>(j)] = ts[i];
+    }
+  }
+  if (predictor_ != nullptr) {
+    // Fused path: one [n, d] source embedding tiled to [n * k, d] via a
+    // row gather, one [n * k, d] candidate embedding, one MergeLayer
+    // forward over all n * k rows.
+    Var src_emb = ComputeEmbeddings(srcs, ts);
+    Var cand_emb = ComputeEmbeddings(candidates, cand_ts);
+    std::vector<int64_t> tile(candidates.size());
+    for (size_t i = 0; i < srcs.size(); ++i) {
+      for (int j = 0; j < k; ++j) {
+        tile[i * static_cast<size_t>(k) + static_cast<size_t>(j)] =
+            static_cast<int64_t>(i);
+      }
+    }
+    return predictor_->Forward(GatherRows(src_emb, tile), cand_emb);
+  }
+  // Pair-feature models: one flat ScoreEdges call over the n * k pairs.
+  std::vector<int32_t> src_rep(candidates.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    for (int j = 0; j < k; ++j) {
+      src_rep[i * static_cast<size_t>(k) + static_cast<size_t>(j)] = srcs[i];
+    }
+  }
+  return ScoreEdges(src_rep, candidates, cand_ts);
+}
+
 void TgnnModel::UpdateState(const Batch& batch) { (void)batch; }
 
 int64_t TgnnModel::ParameterBytes() const {

@@ -105,6 +105,17 @@ class TgnnModel {
                                  const std::vector<int32_t>& dsts,
                                  const std::vector<double>& ts);
 
+  /// Scores the k-way ranking candidate sets of one batch through ONE fused
+  /// forward: `candidates` is row-major [srcs.size() * k], the result is
+  /// flat logits [srcs.size() * k, 1] in the same order. MergeLayer models
+  /// embed each source once and tile the [n, d] block against the
+  /// [n * k, d] candidate embeddings (the GEMM shape the kernel layer is
+  /// fast at); pair-feature models fall back to a single flat ScoreEdges
+  /// call over the n * k pairs — still one forward per batch.
+  tensor::Var ScoreCandidates(const std::vector<int32_t>& srcs,
+                              const std::vector<int32_t>& candidates,
+                              const std::vector<double>& ts, int k);
+
   /// Advances internal temporal state with observed (positive) events.
   virtual void UpdateState(const Batch& batch);
 

@@ -66,6 +66,8 @@ void AppendRunJson(const RunRecord& run, std::string* out) {
   *out += ", \"retried_epoch_seconds\": " + Num(run.retried_epoch_seconds);
   *out += ", \"train_events_per_second\": " +
           Num(run.train_events_per_second);
+  *out += ", \"eval_events_per_second\": " +
+          Num(run.eval_events_per_second);
   *out += ", \"state_bytes\": " + Num(run.state_bytes);
   *out += ", \"parameter_bytes\": " + Num(run.parameter_bytes);
   *out += ", \"checkpoint_bytes\": " + Num(run.checkpoint_bytes);

@@ -20,7 +20,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "checkpoint.bytes",     "sweep.jobs_run",       "sweep.jobs_replayed",
     "sweep.jobs_failed",    "kernels.flops",        "arena.bytes",
     "arena.resets",         "robustness.ckpt_fallbacks", "io.retries",
-    "csv.rows_quarantined",
+    "csv.rows_quarantined", "sampler.collisions_rejected",
+    "sampler.pool_fallbacks",
 };
 
 /// -1 = derive from the environment; 0/1 = forced by a test.

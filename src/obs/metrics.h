@@ -68,8 +68,12 @@ enum class Counter : int {
   kCheckpointFallbacks, // corrupt generations skipped during lineage load
   kIoRetries,           // RetryPolicy re-attempts of durable writes
   kCsvQuarantined,      // hostile CSV rows dropped by the repair loader
+  kSamplerCollisionsRejected,  // negative/candidate draws rejected for
+                               // colliding with the true destination
+  kSamplerPoolFallbacks,       // pool-based draws that fell back to uniform
+                               // (empty history / unseen pool / shortfall)
 };
-inline constexpr int kNumCounters = 19;
+inline constexpr int kNumCounters = 21;
 
 /// Stable dotted name of a counter ("train.batches", ...).
 const char* CounterName(Counter counter);
@@ -98,6 +102,11 @@ struct RunRecord {
   /// counted separately so throughput numbers stay honest.
   double retried_epoch_seconds = 0.0;
   double train_events_per_second = 0.0;
+  /// Edge scores per second of the final test pass (2 per positive, plus
+  /// the k ranking candidates each when the MRR evaluator is on); 0 when
+  /// the pass did not run. Emitted in exports but optional to the schema
+  /// validator so pre-existing baseline artifacts stay valid.
+  double eval_events_per_second = 0.0;
   int64_t state_bytes = 0;
   int64_t parameter_bytes = 0;
   int64_t checkpoint_bytes = 0;

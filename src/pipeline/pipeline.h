@@ -26,12 +26,14 @@
 
 namespace benchtemp::pipeline {
 
-/// One prepared training batch: the keyed negative destinations plus the
-/// model-specific precomputed inputs (may be null for models with no
-/// sampling stage to hoist).
+/// One prepared batch: the keyed negative destinations, the (optional)
+/// row-major [batch * k] ranking candidate sets of an MRR evaluation pass,
+/// plus the model-specific precomputed inputs (may be null for models with
+/// no sampling stage to hoist).
 struct PreparedBatch {
   int64_t index = -1;
   std::vector<int32_t> negatives;
+  std::vector<int32_t> candidates;
   std::unique_ptr<models::PreparedInputs> inputs;
 };
 

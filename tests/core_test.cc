@@ -179,13 +179,16 @@ TEST(DataLoaderTest, SetStats) {
 TEST(EdgeSamplerTest, RandomSamplerRangeAndReset) {
   RandomEdgeSampler sampler(10, 20, 7);
   std::vector<int32_t> srcs(100, 0);
-  const auto first = sampler.SampleNegatives(srcs);
+  std::vector<int32_t> positives(100, 15);
+  const auto first = sampler.SampleNegatives(srcs, positives);
   for (int32_t d : first) {
     EXPECT_GE(d, 10);
     EXPECT_LT(d, 20);
+    EXPECT_NE(d, 15);  // collision-free vs the positive
   }
   sampler.Reset();
-  EXPECT_EQ(sampler.SampleNegatives(srcs), first);  // fixed-seed streams
+  // fixed-seed streams
+  EXPECT_EQ(sampler.SampleNegatives(srcs, positives), first);
 }
 
 TEST(EdgeSamplerTest, HistoricalSamplesTrainDestinations) {
@@ -196,8 +199,9 @@ TEST(EdgeSamplerTest, HistoricalSamplesTrainDestinations) {
   g.AddInteraction(2, 8, 4.0);  // not in train
   HistoricalEdgeSampler sampler(g, {0, 1, 2}, 5, 9, 3);
   std::vector<int32_t> srcs = {0, 0, 0, 0, 1};
+  std::vector<int32_t> positives(5, 8);  // outside every source's history
   for (int trial = 0; trial < 20; ++trial) {
-    const auto negatives = sampler.SampleNegatives(srcs);
+    const auto negatives = sampler.SampleNegatives(srcs, positives);
     for (size_t i = 0; i < 4; ++i) {
       EXPECT_TRUE(negatives[i] == 5 || negatives[i] == 6);
     }
@@ -210,11 +214,11 @@ TEST(EdgeSamplerTest, HistoricalFallsBackToRandom) {
   g.AddInteraction(0, 5, 1.0);
   g.AddInteraction(3, 6, 1.5);
   HistoricalEdgeSampler sampler(g, {0}, 5, 7, 3);
-  // Source 3 has no training history -> uniform fallback stays in range.
-  const auto negatives = sampler.SampleNegatives({3, 3, 3});
+  // Source 3 has no training history -> uniform fallback stays in range
+  // and avoids the positive (6), so only 5 remains.
+  const auto negatives = sampler.SampleNegatives({3, 3, 3}, {6, 6, 6});
   for (int32_t d : negatives) {
-    EXPECT_GE(d, 5);
-    EXPECT_LT(d, 7);
+    EXPECT_EQ(d, 5);
   }
 }
 
@@ -226,7 +230,7 @@ TEST(EdgeSamplerTest, InductiveSamplesUnseenEdgesOnly) {
   g.AddInteraction(2, 8, 4.0);  // test-only pair -> dst 8 eligible
   InductiveEdgeSampler sampler(g, {0, 1}, 5, 9, 3);
   for (int trial = 0; trial < 30; ++trial) {
-    for (int32_t d : sampler.SampleNegatives({0, 1, 2})) {
+    for (int32_t d : sampler.SampleNegatives({0, 1, 2}, {5, 6, 5})) {
       EXPECT_TRUE(d == 7 || d == 8);
     }
   }
@@ -240,7 +244,7 @@ TEST(EdgeSamplerTest, FactoryCoversAllModes) {
         NegativeSampling::kInductive}) {
     auto sampler = MakeEdgeSampler(mode, g, {0}, 0, 2, 1);
     ASSERT_NE(sampler, nullptr) << NegativeSamplingName(mode);
-    EXPECT_EQ(sampler->SampleNegatives({0}).size(), 1u);
+    EXPECT_EQ(sampler->SampleNegatives({0}, {1}).size(), 1u);
   }
 }
 

@@ -45,6 +45,34 @@ TEST(EvaluatorGoldenTest, AveragePrecisionWithTieGroupsMatchesSklearn) {
 }
 
 // ---------------------------------------------------------------------------
+// Degenerate-input contracts (pinned in the evaluator.h doc comments):
+// inputs that cannot express a ranking return the chance value, never NaN
+// or an arbitrary extreme.
+// ---------------------------------------------------------------------------
+
+TEST(EvaluatorGoldenTest, RocAucDegenerateInputsReturnChance) {
+  // Empty input, single-class labels, and all-tied scores: no ranking
+  // information exists, so AUC is the coin-flip 0.5.
+  EXPECT_DOUBLE_EQ(RocAuc({}, {}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.1, 0.5}, {1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.1, 0.5}, {0, 0, 0}), 0.5);
+  // All-tied scores: every rank is the midrank, AUC = 0.5 exactly.
+  EXPECT_DOUBLE_EQ(RocAuc({0.7, 0.7, 0.7, 0.7}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(EvaluatorGoldenTest, AveragePrecisionDegenerateInputsReturnPrevalence) {
+  // No positives -> 0; all positives -> 1 (one threshold recovers
+  // everything at precision 1); all-tied scores -> prevalence num_pos / n,
+  // the single threshold's precision — sklearn agrees on each.
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.1, 0.5}, {0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.9, 0.1, 0.5}, {1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.7, 0.7, 0.7, 0.7}, {1, 0, 1, 0}),
+                   0.5);
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.3, 0.3, 0.3, 0.3}, {1, 0, 0, 0}),
+                   0.25);
+}
+
+// ---------------------------------------------------------------------------
 // Weighted precision/recall/F1 on an imbalanced 3-class fixture.
 // ---------------------------------------------------------------------------
 

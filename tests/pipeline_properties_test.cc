@@ -201,18 +201,22 @@ TEST_P(SamplerLawTest, StreamsAreSeedStableAndInRange) {
                                   g.num_nodes(), 99);
   auto s2 = core::MakeEdgeSampler(GetParam(), g, split.train_events, 40,
                                   g.num_nodes(), 99);
-  std::vector<int32_t> srcs;
-  for (int64_t i : split.test_events) srcs.push_back(g.event(i).src);
-  const auto a = s1->SampleNegatives(srcs);
-  const auto b = s2->SampleNegatives(srcs);
+  std::vector<int32_t> srcs, dsts;
+  for (int64_t i : split.test_events) {
+    srcs.push_back(g.event(i).src);
+    dsts.push_back(g.event(i).dst);
+  }
+  const auto a = s1->SampleNegatives(srcs, dsts);
+  const auto b = s2->SampleNegatives(srcs, dsts);
   EXPECT_EQ(a, b);  // same seed, same stream
-  for (int32_t d : a) {
-    EXPECT_GE(d, 0);
-    EXPECT_LT(d, g.num_nodes());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], 0);
+    EXPECT_LT(a[i], g.num_nodes());
+    EXPECT_NE(a[i], dsts[i]);  // collision-free vs the positive
   }
   // Reset rewinds.
   s1->Reset();
-  EXPECT_EQ(s1->SampleNegatives(srcs), a);
+  EXPECT_EQ(s1->SampleNegatives(srcs, dsts), a);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -186,6 +186,7 @@ TEST(TrainerTest, NodeClassificationRunsAndBeatsChance) {
   job.kind = ModelKind::kTgn;
   job.model_config = SmallModelConfig();
   job.train_config = QuickTrainConfig();
+  job.train_config.seed = 1;
   job.pretrain_epochs = 2;
   job.decoder_epochs = 80;
   const NodeClassificationResult result = RunNodeClassification(job);
