@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -16,7 +17,10 @@
 #include "datagen/synthetic.h"
 #include "graph/neighbor_finder.h"
 #include "graph/walks.h"
+#include "obs/metrics.h"
 #include "tensor/autograd.h"
+#include "tensor/expr.h"
+#include "tensor/kernels/arena.h"
 #include "tensor/kernels/kernels.h"
 #include "tensor/modules.h"
 #include "tensor/numeric.h"
@@ -245,6 +249,293 @@ void BM_KernelReduceDot(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelReduceDot)->Arg(64)->Arg(4096);
 
+// ---------------------------------------------------------------------------
+// Fusion-layer microbenchmarks (BM_Fusion*; `--fusion` runs only these and
+// emits BENCH_fusion.json). Each chain is the elementwise tail of a model
+// hot path at its training shape. The same expr:: source builds both sides:
+// Arg(0) replays it through the eager per-op tape (the BENCHTEMP_FUSION=0
+// escape hatch — one tensor + one tape node per op), Arg(1) through the
+// fused expression layer (one pass forward, one pass backward).
+// ---------------------------------------------------------------------------
+
+namespace fusion {
+
+constexpr int64_t kRows = 200;  // default training batch
+constexpr int64_t kCols = 64;   // embedding width
+/// Rows of the memory-bound variants: every operand is a ~2 MB tensor, so
+/// the eager per-op passes stream through last-level cache while the fused
+/// pass reads each input once and keeps its scratch block L1-resident.
+constexpr int64_t kMemBoundRows = 16384;
+
+/// GRU update-gate combine: (1 - z) * n + z * h — five elementwise ops.
+tensor::Var GruGateCombine(const tensor::Var& z, const tensor::Var& n,
+                           const tensor::Var& h) {
+  namespace expr = tensor::expr;
+  expr::Ex one_minus_z =
+      expr::ScalarAdd(expr::ScalarMul(expr::Ex(z), -1.0f), 1.0f);
+  return expr::Add(expr::Mul(one_minus_z, expr::Ex(n)),
+                   expr::Mul(expr::Ex(z), expr::Ex(h)));
+}
+
+/// NeurTW Euler-step tail: h + sigmoid(g) * tanh(d) * dt, with the [n, 1]
+/// per-row step sizes column-broadcast into the chain.
+tensor::Var OdeEulerStep(const tensor::Var& h, const tensor::Var& g,
+                         const tensor::Var& d, const tensor::Var& dt) {
+  namespace expr = tensor::expr;
+  expr::Ex f =
+      expr::Mul(expr::Sigmoid(expr::Ex(g)), expr::Tanh(expr::Ex(d)));
+  return expr::Add(expr::Ex(h), expr::Mul(f, expr::Ex(dt)));
+}
+
+/// Projection epilogue: relu(x + b) with the [1, d] bias row-broadcast
+/// (the Linear::ForwardEx tail of every model's output head).
+tensor::Var BiasRelu(const tensor::Var& x, const tensor::Var& b) {
+  namespace expr = tensor::expr;
+  return expr::Relu(expr::Add(expr::Ex(x), expr::Ex(b)));
+}
+
+/// Additive feature aggregation with affine calibration: message + memory
+/// + time feature - drift, rescaled. All add/sub/scale, so the fused
+/// backward's dead-recompute elimination drops the whole forward replay.
+tensor::Var FeatureAggregate(const tensor::Var& msg, const tensor::Var& mem,
+                             const tensor::Var& time_feat,
+                             const tensor::Var& drift) {
+  namespace expr = tensor::expr;
+  return expr::ScalarAdd(
+      expr::ScalarMul(
+          expr::Sub(expr::Add(expr::Add(expr::Ex(msg), expr::Ex(mem)),
+                              expr::Ex(time_feat)),
+                    expr::Ex(drift)),
+          0.3f),
+      0.1f);
+}
+
+}  // namespace fusion
+
+void BM_FusionGruGate(benchmark::State& state) {
+  tensor::expr::SetFusionEnabledForTest(state.range(0) == 0 ? 0 : 1);
+  const int64_t rows = state.range(1);
+  tensor::Rng rng(1);
+  tensor::Var z =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var n =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var h =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  for (auto _ : state) {
+    tensor::Var loss = tensor::Sum(fusion::GruGateCombine(z, n, h));
+    tensor::ZeroGrad({z, n, h});
+    tensor::Backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0));
+  }
+  tensor::expr::SetFusionEnabledForTest(-1);
+  state.SetItemsProcessed(state.iterations() * rows * fusion::kCols);
+}
+BENCHMARK(BM_FusionGruGate)
+    ->Args({0, fusion::kRows})
+    ->Args({1, fusion::kRows})
+    ->Args({0, fusion::kMemBoundRows})
+    ->Args({1, fusion::kMemBoundRows});
+
+void BM_FusionOdeStep(benchmark::State& state) {
+  tensor::expr::SetFusionEnabledForTest(state.range(0) == 0 ? 0 : 1);
+  const int64_t rows = state.range(1);
+  tensor::Rng rng(1);
+  tensor::Var h =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var g =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var d =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var dt = tensor::Constant(tensor::Tensor::Randn({rows, 1}, rng));
+  for (auto _ : state) {
+    tensor::Var loss = tensor::Sum(fusion::OdeEulerStep(h, g, d, dt));
+    tensor::ZeroGrad({h, g, d});
+    tensor::Backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0));
+  }
+  tensor::expr::SetFusionEnabledForTest(-1);
+  state.SetItemsProcessed(state.iterations() * rows * fusion::kCols);
+}
+BENCHMARK(BM_FusionOdeStep)
+    ->Args({0, fusion::kRows})
+    ->Args({1, fusion::kRows});
+
+void BM_FusionBiasRelu(benchmark::State& state) {
+  tensor::expr::SetFusionEnabledForTest(state.range(0) == 0 ? 0 : 1);
+  const int64_t rows = state.range(1);
+  tensor::Rng rng(1);
+  tensor::Var x =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var b =
+      tensor::Parameter(tensor::Tensor::Randn({1, fusion::kCols}, rng));
+  for (auto _ : state) {
+    tensor::Var loss = tensor::Sum(fusion::BiasRelu(x, b));
+    tensor::ZeroGrad({x, b});
+    tensor::Backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0));
+  }
+  tensor::expr::SetFusionEnabledForTest(-1);
+  state.SetItemsProcessed(state.iterations() * rows * fusion::kCols);
+}
+BENCHMARK(BM_FusionBiasRelu)
+    ->Args({0, fusion::kRows})
+    ->Args({1, fusion::kRows})
+    ->Args({0, fusion::kMemBoundRows})
+    ->Args({1, fusion::kMemBoundRows});
+
+void BM_FusionFeatureAggregate(benchmark::State& state) {
+  tensor::expr::SetFusionEnabledForTest(state.range(0) == 0 ? 0 : 1);
+  const int64_t rows = state.range(1);
+  tensor::Rng rng(1);
+  tensor::Var msg =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var mem =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var tf =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  tensor::Var drift =
+      tensor::Parameter(tensor::Tensor::Randn({rows, fusion::kCols}, rng));
+  for (auto _ : state) {
+    tensor::Var loss =
+        tensor::Sum(fusion::FeatureAggregate(msg, mem, tf, drift));
+    tensor::ZeroGrad({msg, mem, tf, drift});
+    tensor::Backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0));
+  }
+  tensor::expr::SetFusionEnabledForTest(-1);
+  state.SetItemsProcessed(state.iterations() * rows * fusion::kCols);
+}
+BENCHMARK(BM_FusionFeatureAggregate)
+    ->Args({0, fusion::kMemBoundRows})
+    ->Args({1, fusion::kMemBoundRows});
+
+/// Appends the structured records the CI perf gate reads from
+/// BENCH_fusion.json: one (model=eager|fused, dataset=<chain>, task=fusion)
+/// run per chain with the chain's elementwise elements/second as the gated
+/// throughput column, plus "fusion.arena_bytes.<chain>.<mode>" gauges
+/// carrying the tape-arena footprint of one forward+backward pass (the
+/// before/after of the allocation win). Runs under a per-pass TapeScope so
+/// the arena numbers are the trainer's.
+void RecordFusionRuns() {
+  if (!obs::MetricRegistry::Enabled()) return;
+  namespace expr = tensor::expr;
+  using tensor::Tensor;
+  using tensor::Var;
+  tensor::Rng rng(1);
+  const Tensor a = Tensor::Randn({fusion::kRows, fusion::kCols}, rng);
+  const Tensor b = Tensor::Randn({fusion::kRows, fusion::kCols}, rng);
+  const Tensor c = Tensor::Randn({fusion::kRows, fusion::kCols}, rng);
+  const Tensor col = Tensor::Randn({fusion::kRows, 1}, rng);
+  const Tensor row = Tensor::Randn({1, fusion::kCols}, rng);
+  // Memory-bound operands: ~2 MB each, so the eager per-op passes stream
+  // through last-level cache while fusion touches each element once.
+  const Tensor aw = Tensor::Randn({fusion::kMemBoundRows, fusion::kCols}, rng);
+  const Tensor bw = Tensor::Randn({fusion::kMemBoundRows, fusion::kCols}, rng);
+  const Tensor cw = Tensor::Randn({fusion::kMemBoundRows, fusion::kCols}, rng);
+  const Tensor dw = Tensor::Randn({fusion::kMemBoundRows, fusion::kCols}, rng);
+  struct Chain {
+    const char* name;
+    int64_t rows;
+    int iters;
+    std::function<std::vector<Var>()> make_leaves;
+    std::function<Var(const std::vector<Var>&)> build;
+  };
+  constexpr int kIters = 2000;
+  constexpr int kMemBoundIters = 120;
+  const auto gru_leaves = [&](const Tensor& x, const Tensor& y,
+                              const Tensor& z) {
+    return std::vector<Var>{tensor::Parameter(x), tensor::Parameter(y),
+                            tensor::Parameter(z)};
+  };
+  const std::vector<Chain> chains = {
+      {"gru_gate", fusion::kRows, kIters, [&] { return gru_leaves(a, b, c); },
+       [](const std::vector<Var>& l) {
+         return fusion::GruGateCombine(l[0], l[1], l[2]);
+       }},
+      {"ode_step", fusion::kRows, kIters,
+       [&] {
+         return std::vector<Var>{tensor::Parameter(a), tensor::Parameter(b),
+                                 tensor::Parameter(c),
+                                 tensor::Constant(col)};
+       },
+       [](const std::vector<Var>& l) {
+         return fusion::OdeEulerStep(l[0], l[1], l[2], l[3]);
+       }},
+      {"bias_relu", fusion::kRows, kIters,
+       [&] {
+         return std::vector<Var>{tensor::Parameter(a),
+                                 tensor::Parameter(row)};
+       },
+       [](const std::vector<Var>& l) {
+         return fusion::BiasRelu(l[0], l[1]);
+       }},
+      {"gru_gate_mb", fusion::kMemBoundRows, kMemBoundIters,
+       [&] { return gru_leaves(aw, bw, cw); },
+       [](const std::vector<Var>& l) {
+         return fusion::GruGateCombine(l[0], l[1], l[2]);
+       }},
+      {"bias_relu_mb", fusion::kMemBoundRows, kMemBoundIters,
+       [&] {
+         return std::vector<Var>{tensor::Parameter(aw),
+                                 tensor::Parameter(row)};
+       },
+       [](const std::vector<Var>& l) {
+         return fusion::BiasRelu(l[0], l[1]);
+       }},
+      {"feat_agg_mb", fusion::kMemBoundRows, kMemBoundIters,
+       [&] {
+         return std::vector<Var>{tensor::Parameter(aw), tensor::Parameter(bw),
+                                 tensor::Parameter(cw),
+                                 tensor::Parameter(dw)};
+       },
+       [](const std::vector<Var>& l) {
+         return fusion::FeatureAggregate(l[0], l[1], l[2], l[3]);
+       }},
+  };
+  for (const Chain& chain : chains) {
+    for (int mode = 0; mode <= 1; ++mode) {
+      expr::SetFusionEnabledForTest(mode);
+      // Trainer-shaped pass: leaves are persistent parameters (heap, like a
+      // model's weights — their grads are heap too, surviving the scope),
+      // while every intermediate of the pass comes from the tape arena and
+      // dies with it. Both modes then bump-allocate identically, so the
+      // timing compares the chains, not the heap allocator's history.
+      const std::vector<Var> leaves = chain.make_leaves();
+      int64_t live_floats = 0;
+      const auto pass = [&] {
+        tensor::kernels::TapeScope scope;
+        Var loss = tensor::Sum(chain.build(leaves));
+        tensor::ZeroGrad(leaves);
+        tensor::Backward(loss);
+        live_floats = tensor::kernels::Arena::ThreadLocal().LiveFloats();
+      };
+      for (int i = 0; i < 5; ++i) pass();  // warm caches and the arena slab
+      const double t0 = obs::NowSeconds();
+      for (int i = 0; i < chain.iters; ++i) pass();
+      const double seconds = obs::NowSeconds() - t0;
+      obs::RunRecord record;
+      record.model = mode == 0 ? "eager" : "fused";
+      record.dataset = chain.name;
+      record.task = "fusion";
+      record.epochs_run = chain.iters;
+      record.seconds_per_epoch = seconds / chain.iters;
+      record.train_events_per_second =
+          seconds > 0.0 ? static_cast<double>(chain.rows * fusion::kCols) *
+                              chain.iters / seconds
+                        : 0.0;
+      record.state_bytes =
+          live_floats * static_cast<int64_t>(sizeof(float));
+      obs::MetricRegistry::Global().AppendRun(record);
+      obs::MetricRegistry::Global().SetGauge(
+          std::string("fusion.arena_bytes.") + chain.name + "." +
+              record.model,
+          static_cast<double>(record.state_bytes));
+    }
+  }
+  expr::SetFusionEnabledForTest(-1);
+}
+
 void BM_RocAuc(benchmark::State& state) {
   tensor::Rng rng(1);
   const int64_t n = state.range(0);
@@ -277,27 +568,35 @@ BENCHMARK(BM_SyntheticGeneration)->Arg(2000);
 
 int main(int argc, char** argv) {
   // `--kernels` restricts the run to the kernel-layer benchmarks and emits
-  // the artifact as BENCH_kernels.json (the CI kernel-bench smoke leg).
+  // the artifact as BENCH_kernels.json (the CI kernel-bench smoke leg);
+  // `--fusion` does the same for the BM_Fusion* suite as BENCH_fusion.json,
+  // adding the gated fused-vs-eager throughput records when metrics
+  // collection is on.
   bool kernels_only = false;
+  bool fusion_only = false;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--kernels") == 0) {
       kernels_only = true;
+    } else if (std::strcmp(argv[i], "--fusion") == 0) {
+      fusion_only = true;
     } else {
       args.push_back(argv[i]);
     }
   }
-  std::string filter = "--benchmark_filter=BM_Kernel";
-  if (kernels_only) args.push_back(filter.data());
+  std::string filter = kernels_only ? "--benchmark_filter=BM_Kernel"
+                                    : "--benchmark_filter=BM_Fusion";
+  if (kernels_only || fusion_only) args.push_back(filter.data());
   int filtered_argc = static_cast<int>(args.size());
-  benchtemp::bench::BenchArtifact artifact(kernels_only ? "kernels"
-                                                        : "micro");
+  benchtemp::bench::BenchArtifact artifact(
+      kernels_only ? "kernels" : fusion_only ? "fusion" : "micro");
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  if (fusion_only) RecordFusionRuns();
   benchmark::Shutdown();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "robustness/checkpoint.h"
 #include "robustness/lineage.h"
 #include "tensor/kernels/arena.h"
+#include "tensor/expr.h"
 #include "tensor/optimizer.h"
 #include "tensor/random.h"
 #include "tensor/serialize.h"
@@ -36,6 +37,7 @@ using models::ModelStatus;
 using models::TgnnModel;
 using tensor::Tensor;
 using tensor::Var;
+namespace expr = tensor::expr;
 
 // All timing flows through the observability layer's clock so the btlint
 // adhoc-timing rule can hold the line against scattered chrono reads.
@@ -502,8 +504,12 @@ LinkPredictionResult RunLinkPrediction(const LinkPredictionJob& job) {
             Tensor ones({pos->value.size()});
             ones.Fill(1.0f);
             Tensor zeros({neg->value.size()});
-            loss = ScalarMul(
-                Add(BceWithLogits(pos, ones), BceWithLogits(neg, zeros)), 0.5f);
+            // Averaging the two BCE halves is a fused 2-op pass: one tape
+            // node instead of an eager Add node plus a ScalarMul node.
+            loss = expr::ScalarMul(
+                expr::Add(expr::Ex(BceWithLogits(pos, ones)),
+                          expr::Ex(BceWithLogits(neg, zeros))),
+                0.5f);
             // NaN/Inf sentinel 1: a non-finite loss means this step would
             // poison the parameters — bail out before touching them.
             finite = tensor::AllFinite(loss->value);
@@ -850,8 +856,10 @@ NodeClassificationResult RunNodeClassification(
         Tensor ones({pos->value.size()});
         ones.Fill(1.0f);
         Tensor zeros({neg->value.size()});
-        loss = ScalarMul(
-            Add(BceWithLogits(pos, ones), BceWithLogits(neg, zeros)), 0.5f);
+        loss = expr::ScalarMul(
+            expr::Add(expr::Ex(BceWithLogits(pos, ones)),
+                      expr::Ex(BceWithLogits(neg, zeros))),
+            0.5f);
       }
       {
         obs::ScopedPhaseTimer timer(obs::Phase::kBackward);

@@ -4,6 +4,7 @@ namespace benchtemp::models {
 
 using tensor::Tensor;
 using tensor::Var;
+namespace expr = tensor::expr;
 
 Jodie::Jodie(const graph::TemporalGraph* graph, ModelConfig config,
              int32_t num_users)
@@ -31,9 +32,12 @@ Var Jodie::ComputeMemoryUpdate(const std::vector<MemoryEvent>& events,
     is_user.at(static_cast<int64_t>(i)) =
         events[i].node < num_users_ ? 1.0f : 0.0f;
   }
+  // The [n, 1] inverse mask is materialized eagerly (a broadcast operand
+  // must be a leaf); the [n, dim] select then fuses into one pass.
   Var mask = tensor::Constant(std::move(is_user));
   Var inv_mask = ScalarAdd(ScalarMul(mask, -1.0f), 1.0f);
-  return Add(Mul(user_update, mask), Mul(item_update, inv_mask));
+  return expr::Add(expr::Mul(expr::Ex(user_update), expr::Ex(mask)),
+                   expr::Mul(expr::Ex(item_update), expr::Ex(inv_mask)));
 }
 
 Var Jodie::ComputeEmbeddings(const std::vector<int32_t>& nodes,
@@ -50,8 +54,10 @@ Var Jodie::ComputeEmbeddings(const std::vector<int32_t>& nodes,
       span > 0.0 ? span / static_cast<double>(graph_->num_events()) : 1.0;
   Var dt = DeltaTimeColumn(nodes, ts);
   Var dt_scaled = ScalarMul(dt, static_cast<float>(1.0 / (mean_gap * 100.0)));
-  Var drift = ScalarAdd(MatMul(dt_scaled, projection_), 1.0f);
-  return output_.Forward(Mul(memory, drift));
+  // Drift offset and memory modulation fuse into one pass after the GEMM.
+  Var mm = MatMul(dt_scaled, projection_);
+  return output_.Forward(
+      expr::Mul(expr::Ex(memory), expr::ScalarAdd(expr::Ex(mm), 1.0f)));
 }
 
 std::vector<Var> Jodie::UpdaterParameters() const {

@@ -10,6 +10,7 @@ using tensor::ConcatRows;
 using tensor::Constant;
 using tensor::Tensor;
 using tensor::Var;
+namespace expr = tensor::expr;
 
 Tgat::Tgat(const graph::TemporalGraph* graph, ModelConfig config)
     : TgnnModel(graph, config),
@@ -167,7 +168,8 @@ Var Tgat::EmbedLayer(const std::vector<int32_t>& nodes,
                          time_encoder_.Encode(nb->flat_dts)});
   Var attended = layers_[static_cast<size_t>(layer - 1)]->Forward(
       query, keys, keys, nb->mask, k);
-  return Relu(layer_out_[static_cast<size_t>(layer - 1)]->Forward(
+  // Bias-add and ReLU of the layer-output projection fuse into one pass.
+  return expr::Relu(layer_out_[static_cast<size_t>(layer - 1)]->ForwardEx(
       ConcatCols({attended, self_prev})));
 }
 

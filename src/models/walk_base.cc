@@ -11,6 +11,7 @@ using tensor::ConcatRows;
 using tensor::Constant;
 using tensor::Tensor;
 using tensor::Var;
+namespace expr = tensor::expr;
 
 WalkModel::WalkModel(const graph::TemporalGraph* graph, ModelConfig config)
     : TgnnModel(graph, config),
@@ -98,15 +99,18 @@ Var WalkModel::EncodeWalkGroups(
         }
       }
     }
-    Var x = Relu(step_proj_.Forward(
+    Var x = expr::Relu(step_proj_.ForwardEx(
         ConcatCols({Constant(std::move(anon)), time_encoder_.Encode(dts),
                     Constant(std::move(edge_block))})));
     if (s > 0) hidden = EvolveHidden(hidden, gaps);
     Var next = encoder_.Forward(x, hidden);
-    // Walks that already ended keep their previous hidden state.
+    // Walks that already ended keep their previous hidden state. The [n, 1]
+    // inverse mask stays eager (broadcast operands must be leaves); the
+    // [n, dim] select fuses into one pass.
     Var m = Constant(mask);
     Var inv = ScalarAdd(ScalarMul(m, -1.0f), 1.0f);
-    hidden = Add(Mul(next, m), Mul(hidden, inv));
+    hidden = expr::Add(expr::Mul(expr::Ex(next), expr::Ex(m)),
+                       expr::Mul(expr::Ex(hidden), expr::Ex(inv)));
   }
   // Mean-pool each group's walk encodings.
   Tensor pool_weights({num_groups, walks_per_group});

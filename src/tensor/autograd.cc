@@ -82,6 +82,12 @@ Tensor& VarNode::EnsureGrad() {
   return grad;
 }
 
+Var MakeOpNode(const char* op, Tensor value, std::vector<Var> parents,
+               std::function<void(VarNode&)> backward_fn) {
+  return MakeNode(op, std::move(value), std::move(parents),
+                  std::move(backward_fn));
+}
+
 Var Constant(Tensor value) {
   auto node = std::make_shared<VarNode>();
   node->value = std::move(value);
@@ -620,7 +626,12 @@ Var Sum(const Var& a) {
     VarNode& p = *self.parents[0];
     if (!p.requires_grad) return;
     Tensor& g = p.EnsureGrad();
-    kernels::AddScalar(g.data(), self.grad.at(0), g.size());
+    const float s = self.grad.at(0);
+    float* gp = g.data();
+    runtime::ParallelFor(0, g.size(), kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           kernels::AddScalar(gp + lo, s, hi - lo);
+                         });
   });
 }
 

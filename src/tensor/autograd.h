@@ -54,6 +54,14 @@ void Backward(const Var& root);
 /// Zeroes the gradient buffers of the given parameters.
 void ZeroGrad(const std::vector<Var>& params);
 
+/// Records one tape node over an already-computed forward value: wires up
+/// parents, derives requires_grad, and registers with the BENCHTEMP_CHECK
+/// validator. This is the hook the expression-fusion layer (tensor/expr.h)
+/// uses to emit a single node for a whole elementwise chain; `op` must be a
+/// static-storage (or interned) string.
+Var MakeOpNode(const char* op, Tensor value, std::vector<Var> parents,
+               std::function<void(VarNode&)> backward_fn);
+
 // ---------------------------------------------------------------------------
 // Elementwise and broadcast arithmetic.
 // ---------------------------------------------------------------------------

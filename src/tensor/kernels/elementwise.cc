@@ -39,6 +39,9 @@ inline void AddScalarBody(float* y, float s, int64_t n) {
 inline void SetBody(float* y, const float* x, int64_t n) {
   for (int64_t i = 0; i < n; ++i) y[i] = x[i];
 }
+inline void FillOutBody(float* y, float v, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = v;
+}
 inline void AddOutBody(float* y, const float* a, const float* b, int64_t n) {
   for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
 }
@@ -117,6 +120,8 @@ void AddScalarScalarPath(float* y, float s, int64_t n) {
 }
 BENCHTEMP_NO_VECTORIZE
 void SetScalarPath(float* y, const float* x, int64_t n) { SetBody(y, x, n); }
+BENCHTEMP_NO_VECTORIZE
+void FillOutScalarPath(float* y, float v, int64_t n) { FillOutBody(y, v, n); }
 BENCHTEMP_NO_VECTORIZE
 void AddOutScalarPath(float* y, const float* a, const float* b, int64_t n) {
   AddOutBody(y, a, b, n);
@@ -218,6 +223,14 @@ void Set(float* y, const float* x, int64_t n) {
     SetBody(y, x, n);
   } else {
     SetScalarPath(y, x, n);
+  }
+}
+
+void FillOut(float* y, float v, int64_t n) {
+  if (SimdEnabled()) {
+    FillOutBody(y, v, n);
+  } else {
+    FillOutScalarPath(y, v, n);
   }
 }
 

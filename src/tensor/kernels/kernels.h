@@ -70,6 +70,7 @@ void Axpy(float* y, float s, const float* x, int64_t n);  // y[i] += s*x[i]
 void Scale(float* y, float s, int64_t n);          // y[i] *= s
 void AddScalar(float* y, float s, int64_t n);      // y[i] += s
 void Set(float* y, const float* x, int64_t n);     // y[i] = x[i]
+void FillOut(float* y, float v, int64_t n);        // y[i] = v
 
 // Out-of-place forms (y never aliases the inputs).
 void AddOut(float* y, const float* a, const float* b, int64_t n);  // y=a+b

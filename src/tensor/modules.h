@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/autograd.h"
+#include "tensor/expr.h"
 #include "tensor/random.h"
 #include "tensor/tensor.h"
 
@@ -29,6 +30,11 @@ class Linear : public Module {
   Linear(int64_t in_dim, int64_t out_dim, Rng& rng, bool bias = true);
 
   Var Forward(const Var& x) const;
+  /// Lazy variant: the GEMM runs eagerly (it is not elementwise) but the
+  /// bias add is returned as an open expression, so callers can keep
+  /// chaining elementwise ops (activation, gate sums) into one fused pass
+  /// instead of materializing a tape node per op.
+  expr::Ex ForwardEx(const Var& x) const;
   std::vector<Var> Parameters() const override;
 
   int64_t in_dim() const { return in_dim_; }

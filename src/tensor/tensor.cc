@@ -1,5 +1,8 @@
 #include "tensor/tensor.h"
 
+#include "runtime/grain.h"
+#include "runtime/thread_pool.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/random.h"
 
 namespace benchtemp::tensor {
@@ -95,7 +98,19 @@ int64_t Tensor::cols() const {
 }
 
 void Tensor::Fill(float value) {
-  for (int64_t i = 0; i < size_; ++i) data_[i] = value;
+  // Gradient clears and loss-seed broadcasts fill multi-megabyte tensors
+  // every batch; route the bandwidth-bound ones through the vectorized
+  // kernel, split over the pool. Every chunk writes the same constant, so
+  // the result is chunking-independent.
+  if (size_ < runtime::kElementwiseGrain) {
+    kernels::FillOut(data_, value, size_);
+    return;
+  }
+  float* d = data_;
+  runtime::ParallelFor(0, size_, runtime::kElementwiseGrain,
+                       [d, value](int64_t lo, int64_t hi) {
+                         kernels::FillOut(d + lo, value, hi - lo);
+                       });
 }
 
 void Tensor::AddInPlace(const Tensor& other) {

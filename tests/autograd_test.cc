@@ -1,10 +1,12 @@
 #include "tensor/autograd.h"
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include <gtest/gtest.h>
 
+#include "tensor/expr.h"
 #include "tensor/random.h"
 #include "tensor/tensor.h"
 
@@ -271,6 +273,86 @@ TEST(AutogradTest, DeepChainBackwardDoesNotOverflowStack) {
   for (int i = 0; i < 20000; ++i) x = ScalarMul(x, 1.0f);
   Backward(Sum(x));
   EXPECT_NEAR(a->grad.at(0), 1.0f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Numeric goldens for the fused loss prelude. The trainer averages the two
+// BCE halves through the expression layer (one fused pass); these pin the
+// exact values so a fused-evaluator regression cannot silently shift the
+// loss numerics the published tables depend on.
+// ---------------------------------------------------------------------------
+
+TEST(AutogradTest, FusedBcePreludeGolden) {
+  Var pos = Parameter(Tensor::FromVector({2}, {0.3f, 1.1f}));
+  Var neg = Parameter(Tensor::FromVector({2}, {-0.7f, 0.2f}));
+  Tensor ones = Tensor::FromVector({2}, {1.0f, 1.0f});
+  Tensor zeros = Tensor::FromVector({2}, {0.0f, 0.0f});
+  Var loss = expr::ScalarMul(
+      expr::Add(expr::Ex(BceWithLogits(pos, ones)),
+                expr::Ex(BceWithLogits(neg, zeros))),
+      0.5f);
+  const double pos_bce = 0.5 * ((std::log(1.0 + std::exp(0.3)) - 0.3) +
+                                (std::log(1.0 + std::exp(1.1)) - 1.1));
+  const double neg_bce = 0.5 * (std::log(1.0 + std::exp(-0.7)) +
+                                std::log(1.0 + std::exp(0.2)));
+  EXPECT_NEAR(loss->value.at(0),
+              static_cast<float>(0.5 * (pos_bce + neg_bce)), 1e-6f);
+  Backward(loss);
+  // d loss / d pos_i = 0.5 * (sigmoid(pos_i) - 1) / n.
+  EXPECT_NEAR(pos->grad.at(0),
+              0.25f * (1.0f / (1.0f + std::exp(-0.3f)) - 1.0f), 1e-6f);
+  EXPECT_NEAR(neg->grad.at(1), 0.25f * (1.0f / (1.0f + std::exp(-0.2f))),
+              1e-6f);
+}
+
+TEST(AutogradTest, FusedBcePreludeMatchesEagerBitwise) {
+  Rng rng(40);
+  Var pos1 = Parameter(Tensor::Randn({8}, rng));
+  Var neg1 = Parameter(Tensor::Randn({8}, rng));
+  Var pos2 = Parameter(pos1->value);
+  Var neg2 = Parameter(neg1->value);
+  Tensor ones = Tensor::Full({8}, 1.0f);
+  Tensor zeros = Tensor::Zeros({8});
+  Var fused = expr::ScalarMul(
+      expr::Add(expr::Ex(BceWithLogits(pos1, ones)),
+                expr::Ex(BceWithLogits(neg1, zeros))),
+      0.5f);
+  Var eager = ScalarMul(
+      Add(BceWithLogits(pos2, ones), BceWithLogits(neg2, zeros)), 0.5f);
+  ASSERT_EQ(fused->value.size(), 1);
+  EXPECT_EQ(std::memcmp(fused->value.data(), eager->value.data(), 4), 0);
+  Backward(fused);
+  Backward(eager);
+  EXPECT_EQ(std::memcmp(pos1->grad.data(), pos2->grad.data(),
+                        static_cast<size_t>(pos1->grad.size()) * 4),
+            0);
+  EXPECT_EQ(std::memcmp(neg1->grad.data(), neg2->grad.data(),
+                        static_cast<size_t>(neg1->grad.size()) * 4),
+            0);
+}
+
+TEST(AutogradTest, SoftmaxRowsGolden) {
+  // SoftmaxRows runs Exp / Sum / normalize as one internal kernel pass;
+  // pin its exact output for a known row so that path stays put.
+  Var a = Constant(Tensor::FromVector({1, 3}, {1.0f, 2.0f, 3.0f}));
+  Var s = SoftmaxRows(a);
+  const double z = std::exp(1.0 - 3.0) + std::exp(2.0 - 3.0) + 1.0;
+  EXPECT_NEAR(s->value.at(0, 0), static_cast<float>(std::exp(-2.0) / z),
+              1e-6f);
+  EXPECT_NEAR(s->value.at(0, 1), static_cast<float>(std::exp(-1.0) / z),
+              1e-6f);
+  EXPECT_NEAR(s->value.at(0, 2), static_cast<float>(1.0 / z), 1e-6f);
+}
+
+TEST(AutogradTest, MaskedSoftmaxRowsGolden) {
+  Var a = Constant(Tensor::FromVector({1, 3}, {2.0f, 5.0f, 4.0f}));
+  Tensor mask = Tensor::FromVector({1, 3}, {1.0f, 0.0f, 1.0f});
+  Var s = MaskedSoftmaxRows(a, mask);
+  const double z = std::exp(2.0 - 4.0) + 1.0;
+  EXPECT_NEAR(s->value.at(0, 0), static_cast<float>(std::exp(-2.0) / z),
+              1e-6f);
+  EXPECT_FLOAT_EQ(s->value.at(0, 1), 0.0f);
+  EXPECT_NEAR(s->value.at(0, 2), static_cast<float>(1.0 / z), 1e-6f);
 }
 
 }  // namespace

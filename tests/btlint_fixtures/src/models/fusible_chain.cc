@@ -1,0 +1,36 @@
+// Fixture: chained eager elementwise ops that the expression layer in
+// tensor/expr.h would fuse into a single pass.
+namespace fixture {
+
+// Depth-3 chain: fires once, reported at the outermost call.
+Var GateEager(const Var& x, const Var& h) {
+  return Sigmoid(Add(Mul(x, h), x));
+}
+
+// Depth-4 chain (JODIE-style select): still one finding, at the root.
+Var SelectEager(const Var& a, const Var& b, const Var& mask) {
+  return Add(Mul(a, mask), Mul(b, ScalarAdd(ScalarMul(mask, -1.0f), 1.0f)));
+}
+
+// Depth-2 chain: below the threshold, stays silent.
+Var InvMask(const Var& mask) {
+  return ScalarAdd(ScalarMul(mask, -1.0f), 1.0f);
+}
+
+// The fused spelling of GateEager: expr::-qualified calls never count.
+Var GateFused(const Var& x, const Var& h) {
+  return expr::Sigmoid(expr::Add(expr::Mul(expr::Ex(x), expr::Ex(h)),
+                                 expr::Ex(x)));
+}
+
+// Member calls are some other API, not the tensor free functions.
+Var MemberCalls(Builder& b, const Var& x) {
+  return b.Sigmoid(b.Add(b.Mul(x, x), x));
+}
+
+// Depth-3 chain with a targeted allow: suppressed.
+Var GateAllowed(const Var& x, const Var& h) {
+  return Sigmoid(Add(Mul(x, h), x));  // btlint: allow(fusible-chain)
+}
+
+}  // namespace fixture

@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "tensor/debug_check.h"
+#include "tensor/expr.h"
 #include "tensor/kernels/arena.h"
 #include "tensor/kernels/simd.h"
 #include "tensor/random.h"
@@ -70,6 +71,7 @@ class KernelsTest : public ::testing::Test {
   void TearDown() override {
     kernels::SetSimdEnabledForTest(-1);
     kernels::SetArenaEnabledForTest(-1);
+    tensor::expr::SetFusionEnabledForTest(-1);
     tensor::debug_check::SetEnabledForTest(false);
     obs::MetricRegistry::OverrideEnabledForTest(-1);
     obs::MetricRegistry::Global().Reset();
@@ -404,6 +406,81 @@ TEST_F(KernelsTest, TrainingBitIdenticalAcrossSimdThreadsAndArena) {
       EXPECT_EQ(digests_arena_off[i], digests_arena_off[0])
           << models::ModelKindName(kind);
     }
+  }
+}
+
+TEST_F(KernelsTest, TrainingBitIdenticalFusedVsEager) {
+  // BENCHTEMP_FUSION=0/1 must not move a single training bit, at any
+  // thread count, either SIMD setting, and with the async pipeline on or
+  // off. The model trajectory (AUC/AP bits) is compared across ALL
+  // configurations; counter digests are compared within a fusion setting —
+  // fusion legitimately changes parallel_for.calls and arena.bytes (fewer,
+  // larger passes), which is the point of the optimization.
+  obs::MetricRegistry::OverrideEnabledForTest(1);
+  auto& registry = obs::MetricRegistry::Global();
+  const graph::TemporalGraph g = MatrixGraph();
+  for (const models::ModelKind kind :
+       {models::ModelKind::kTgn, models::ModelKind::kTgat}) {
+    std::vector<uint64_t> auc_bits;
+    std::vector<std::string> digests_fused;
+    std::vector<std::string> digests_eager;
+    for (const int threads : {1, 8}) {
+      for (const int simd : {0, 1}) {
+        for (const int depth : {0, 2}) {
+          for (const int fusion : {0, 1}) {
+            runtime::ThreadPool::Global().SetNumThreads(threads);
+            kernels::SetSimdEnabledForTest(simd);
+            kernels::SetArenaEnabledForTest(1);
+            tensor::expr::SetFusionEnabledForTest(fusion);
+            registry.Reset();
+            core::LinkPredictionJob job = MatrixJob(&g, kind);
+            job.train_config.pipeline_depth = depth;
+            const core::LinkPredictionResult result =
+                core::RunLinkPrediction(job);
+            ASSERT_EQ(result.status, models::ModelStatus::kOk)
+                << models::ModelKindName(kind) << " threads=" << threads
+                << " simd=" << simd << " depth=" << depth
+                << " fusion=" << fusion;
+            auc_bits.push_back(BitsOf(result.val_transductive.auc));
+            auc_bits.push_back(BitsOf(result.test[0].auc));
+            auc_bits.push_back(BitsOf(result.test[0].ap));
+            (fusion != 0 ? digests_fused : digests_eager)
+                .push_back(registry.CountersDigest());
+          }
+        }
+      }
+    }
+    for (size_t i = 3; i < auc_bits.size(); i += 3) {
+      EXPECT_EQ(auc_bits[i], auc_bits[0])
+          << models::ModelKindName(kind) << " config " << i / 3;
+      EXPECT_EQ(auc_bits[i + 1], auc_bits[1])
+          << models::ModelKindName(kind) << " config " << i / 3;
+      EXPECT_EQ(auc_bits[i + 2], auc_bits[2])
+          << models::ModelKindName(kind) << " config " << i / 3;
+    }
+    for (size_t i = 1; i < digests_fused.size(); ++i) {
+      EXPECT_EQ(digests_fused[i], digests_fused[0])
+          << models::ModelKindName(kind) << " fused config " << i;
+    }
+    for (size_t i = 1; i < digests_eager.size(); ++i) {
+      EXPECT_EQ(digests_eager[i], digests_eager[0])
+          << models::ModelKindName(kind) << " eager config " << i;
+    }
+    // Fusion's flop accounting is call-for-call identical to the eager
+    // ops', and fewer-but-larger arena allocations must strictly shrink
+    // arena.bytes: check both directly rather than whole-digest equality.
+    auto counter_of = [](const std::string& digest, const char* name) {
+      const size_t pos = digest.find(name);
+      EXPECT_NE(pos, std::string::npos) << name;
+      return std::strtoll(digest.c_str() + pos + std::strlen(name) + 1,
+                          nullptr, 10);
+    };
+    EXPECT_EQ(counter_of(digests_fused[0], "kernels.flops"),
+              counter_of(digests_eager[0], "kernels.flops"))
+        << models::ModelKindName(kind);
+    EXPECT_LT(counter_of(digests_fused[0], "arena.bytes"),
+              counter_of(digests_eager[0], "arena.bytes"))
+        << models::ModelKindName(kind);
   }
 }
 
